@@ -1,0 +1,50 @@
+// Command zdr-exp regenerates the paper's tables and figures and prints
+// them as text (or markdown) tables. Each experiment ID matches the
+// per-experiment index in DESIGN.md.
+//
+// Usage:
+//
+//	zdr-exp              # run everything
+//	zdr-exp -only F12    # run a single experiment
+//	zdr-exp -markdown    # emit markdown (EXPERIMENTS.md source)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zdr/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. F9)")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	flag.Parse()
+
+	exps := experiments.All()
+	ran := 0
+	for _, e := range exps {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(tab.Markdown())
+		} else {
+			fmt.Println(tab.Render())
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -only=%s\n", *only)
+		os.Exit(2)
+	}
+}

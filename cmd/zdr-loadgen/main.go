@@ -1,0 +1,215 @@
+// Command zdr-loadgen drives HTTP and MQTT load against an Edge proxy and
+// reports client-observed disruptions by class — the end-user vantage
+// point the paper's monitoring system collects ("performance metrics from
+// the end-user applications ... serve as the source of measuring
+// client-side disruptions", §6). Run it while restarting the proxies to
+// see the Fig. 12 error classes live.
+//
+// Usage:
+//
+//	zdr-loadgen -web 127.0.0.1:8080 -target /static/ping -duration 30s
+//	zdr-loadgen -web 127.0.0.1:8080 -mqtt 127.0.0.1:8883 -mqtt-conns 20
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zdr/internal/http1"
+	"zdr/internal/mqtt"
+)
+
+type stats struct {
+	ok, connReset, streamAbort, timeout, writeTimeout atomic.Int64
+	mqttDrops                                         atomic.Int64
+	latency                                           sync.Mutex
+	latencies                                         []float64
+}
+
+func main() {
+	web := flag.String("web", "", "edge web VIP address")
+	mqttAddr := flag.String("mqtt", "", "edge MQTT VIP address (optional)")
+	target := flag.String("target", "/static/ping", "HTTP request target")
+	duration := flag.Duration("duration", 10*time.Second, "how long to run")
+	concurrency := flag.Int("c", 4, "concurrent HTTP workers")
+	mqttConns := flag.Int("mqtt-conns", 0, "persistent MQTT connections to hold")
+	timeout := flag.Duration("timeout", time.Second, "per-request timeout")
+	flag.Parse()
+	if *web == "" && *mqttAddr == "" {
+		fmt.Fprintln(os.Stderr, "need -web and/or -mqtt")
+		os.Exit(2)
+	}
+
+	var st stats
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	if *web != "" {
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					start := time.Now()
+					classify(&st, doRequest(*web, *target, *timeout))
+					st.latency.Lock()
+					st.latencies = append(st.latencies, float64(time.Since(start).Microseconds()))
+					st.latency.Unlock()
+					time.Sleep(time.Millisecond)
+				}
+			}()
+		}
+	}
+
+	if *mqttAddr != "" && *mqttConns > 0 {
+		for i := 0; i < *mqttConns; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				holdMQTT(&st, *mqttAddr, fmt.Sprintf("loadgen-%d-%d", os.Getpid(), i), stop)
+			}(i)
+		}
+	}
+
+	fmt.Printf("load running for %v ...\n", *duration)
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+
+	total := st.ok.Load() + st.connReset.Load() + st.streamAbort.Load() + st.timeout.Load() + st.writeTimeout.Load()
+	fmt.Printf("\nHTTP requests: %d\n", total)
+	fmt.Printf("  ok             %d\n", st.ok.Load())
+	fmt.Printf("  conn. rst.     %d\n", st.connReset.Load())
+	fmt.Printf("  stream abort   %d\n", st.streamAbort.Load())
+	fmt.Printf("  timeout        %d\n", st.timeout.Load())
+	fmt.Printf("  write timeout  %d\n", st.writeTimeout.Load())
+	st.latency.Lock()
+	if n := len(st.latencies); n > 0 {
+		var sum float64
+		for _, v := range st.latencies {
+			sum += v
+		}
+		fmt.Printf("  mean latency   %.0f us\n", sum/float64(n))
+	}
+	st.latency.Unlock()
+	if *mqttConns > 0 {
+		fmt.Printf("MQTT connections: %d held, %d dropped\n", *mqttConns, st.mqttDrops.Load())
+	}
+}
+
+type outcome int
+
+const (
+	outOK outcome = iota
+	outConnReset
+	outStreamAbort
+	outTimeout
+	outWriteTimeout
+)
+
+func classify(st *stats, o outcome) {
+	switch o {
+	case outOK:
+		st.ok.Add(1)
+	case outConnReset:
+		st.connReset.Add(1)
+	case outStreamAbort:
+		st.streamAbort.Add(1)
+	case outTimeout:
+		st.timeout.Add(1)
+	case outWriteTimeout:
+		st.writeTimeout.Add(1)
+	}
+}
+
+func doRequest(addr, target string, timeout time.Duration) outcome {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return outConnReset
+	}
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", target, nil, 0)); err != nil {
+		if isTimeout(err) {
+			return outWriteTimeout
+		}
+		return outConnReset
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	resp, err := http1.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		if isTimeout(err) {
+			return outTimeout
+		}
+		return outConnReset
+	}
+	if _, err := http1.ReadFullBody(resp.Body); err != nil {
+		if isTimeout(err) {
+			return outTimeout
+		}
+		return outConnReset
+	}
+	if resp.StatusCode >= 500 {
+		return outStreamAbort
+	}
+	return outOK
+}
+
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+// holdMQTT keeps one persistent MQTT connection pinging; every drop is a
+// client-visible disruption (re-connects and holds again).
+func holdMQTT(st *stats, addr, id string, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			st.mqttDrops.Add(1)
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		c := mqtt.NewClient(conn, id, true)
+		if _, err := c.Connect(0, 2*time.Second); err != nil {
+			st.mqttDrops.Add(1)
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		c.Subscribe(2*time.Second, "notif/"+id)
+		for {
+			select {
+			case <-stop:
+				c.Disconnect()
+				return
+			case <-c.Done():
+				st.mqttDrops.Add(1)
+				goto reconnect
+			case <-time.After(500 * time.Millisecond):
+				if err := c.Ping(2 * time.Second); err != nil {
+					st.mqttDrops.Add(1)
+					c.Disconnect()
+					goto reconnect
+				}
+			}
+		}
+	reconnect:
+		time.Sleep(200 * time.Millisecond)
+	}
+}

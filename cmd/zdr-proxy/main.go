@@ -1,0 +1,151 @@
+// Command zdr-proxy runs a Proxygen-style L7 proxy (Edge or Origin role)
+// with Socket Takeover support. It is the production-shaped deployment of
+// the library: run the first generation with -takeover-path, then deploy a
+// new binary with the same flags plus -takeover-from to restart with zero
+// downtime — the new process receives the listening sockets over the UNIX
+// socket and the old one drains and exits.
+//
+// Example (Origin):
+//
+//	zdr-proxy -role origin -app 127.0.0.1:9001 -broker 127.0.0.1:9100 \
+//	          -tunnel 127.0.0.1:8300 -health 127.0.0.1:8301 \
+//	          -takeover-path /tmp/origin.sock
+//
+// Example (Edge):
+//
+//	zdr-proxy -role edge -origin 127.0.0.1:8300 \
+//	          -web 127.0.0.1:8080 -mqtt 127.0.0.1:8883 -health 127.0.0.1:8081 \
+//	          -takeover-path /tmp/edge.sock
+//
+// Zero-downtime restart of either:
+//
+//	zdr-proxy <same flags> -takeover-from /tmp/edge.sock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"zdr/internal/proxy"
+)
+
+func main() {
+	role := flag.String("role", "edge", "proxy role: edge | origin")
+	name := flag.String("name", "", "instance name (default <role>-<pid>)")
+	origins := flag.String("origin", "", "comma-separated origin tunnel addresses (edge role)")
+	apps := flag.String("app", "", "comma-separated app server addresses (origin role)")
+	brokers := flag.String("broker", "", "comma-separated MQTT broker addresses (origin role)")
+	web := flag.String("web", "", "web VIP bind address (edge)")
+	mqttAddr := flag.String("mqtt", "", "mqtt VIP bind address (edge)")
+	tunnel := flag.String("tunnel", "", "tunnel VIP bind address (origin)")
+	health := flag.String("health", "", "health VIP bind address")
+	drain := flag.Duration("drain", 20*time.Second, "drain period on shutdown")
+	takeoverPath := flag.String("takeover-path", "", "UNIX socket path to serve Socket Takeover on")
+	takeoverFrom := flag.String("takeover-from", "", "take the listening sockets over from the instance at this path")
+	flag.Parse()
+
+	cfg := proxy.Config{
+		Name:        *name,
+		DrainPeriod: *drain,
+		VIPAddrs:    map[string]string{},
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("%s-%d", *role, os.Getpid())
+	}
+	switch *role {
+	case "edge":
+		cfg.Role = proxy.RoleEdge
+		cfg.Origins = split(*origins)
+		if len(cfg.Origins) == 0 {
+			fatal("edge role requires -origin")
+		}
+		setAddr(cfg.VIPAddrs, proxy.VIPWeb, *web)
+		setAddr(cfg.VIPAddrs, proxy.VIPMQTT, *mqttAddr)
+	case "origin":
+		cfg.Role = proxy.RoleOrigin
+		cfg.AppServers = split(*apps)
+		cfg.Brokers = split(*brokers)
+		if len(cfg.AppServers) == 0 && len(cfg.Brokers) == 0 {
+			fatal("origin role requires -app and/or -broker")
+		}
+		setAddr(cfg.VIPAddrs, proxy.VIPTunnel, *tunnel)
+	default:
+		fatal("unknown role %q", *role)
+	}
+	setAddr(cfg.VIPAddrs, proxy.VIPHealth, *health)
+
+	p := proxy.New(cfg, nil)
+	if *takeoverFrom != "" {
+		res, err := p.TakeoverFrom(*takeoverFrom)
+		if err != nil {
+			fatal("takeover from %s: %v", *takeoverFrom, err)
+		}
+		fmt.Printf("%s: took over %d sockets in %v (old instance draining)\n", cfg.Name, len(res.VIPs), res.Duration)
+	} else {
+		if err := p.Listen(); err != nil {
+			fatal("listen: %v", err)
+		}
+		fmt.Printf("%s: listening\n", cfg.Name)
+	}
+	for _, vip := range []string{proxy.VIPWeb, proxy.VIPMQTT, proxy.VIPTunnel, proxy.VIPHealth} {
+		if addr := p.Addr(vip); addr != "" {
+			fmt.Printf("  %-7s %s\n", vip, addr)
+		}
+	}
+	if *takeoverPath != "" {
+		if err := serveTakeoverWithRetry(p, *takeoverPath); err != nil {
+			fatal("takeover server: %v", err)
+		}
+		fmt.Printf("  takeover path %s armed\n", *takeoverPath)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("%s: draining for %v ...\n", cfg.Name, *drain)
+	p.Shutdown()
+	fmt.Printf("%s: bye\n", cfg.Name)
+}
+
+// serveTakeoverWithRetry absorbs the window in which the previous
+// generation's takeover server is still releasing the socket path.
+func serveTakeoverWithRetry(p *proxy.Proxy, path string) error {
+	var err error
+	for i := 0; i < 50; i++ {
+		if err = p.ServeTakeover(path); err == nil {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return err
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func setAddr(m map[string]string, vip, addr string) {
+	if addr != "" {
+		m[vip] = addr
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command zdr-sim runs the virtual-time fleet simulator for one rolling
+// release and prints the capacity/CPU timeline — the tool behind the
+// cluster-scale figures.
+//
+// Usage:
+//
+//	zdr-sim -machines 100 -batch 0.2 -drain 20m -strategy zdr
+//	zdr-sim -strategy hard -batch 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zdr/internal/cluster"
+)
+
+func main() {
+	machines := flag.Int("machines", 100, "cluster size")
+	batch := flag.Float64("batch", 0.2, "batch fraction restarted concurrently")
+	drain := flag.Duration("drain", 20*time.Minute, "drain period per batch")
+	gap := flag.Duration("gap", time.Minute, "gap between batches")
+	restart := flag.Duration("restart-overhead", 0, "non-drain restart cost (cache priming etc.)")
+	strategy := flag.String("strategy", "zdr", "release strategy: zdr | hard")
+	load := flag.Float64("load", 0.7, "baseline utilisation")
+	tick := flag.Duration("tick", time.Minute, "simulation tick")
+	seed := flag.Uint64("seed", 1, "PRNG seed")
+	day := flag.Bool("day", false, "simulate a 24h diurnal day with one release at -release-hour instead of a single release timeline")
+	releaseHour := flag.Int("release-hour", 15, "hour of day the release starts (-day mode)")
+	peakLoad := flag.Float64("peak-load", 0.85, "utilisation at the 16:00 peak (-day mode)")
+	flag.Parse()
+
+	var strat cluster.Strategy
+	switch *strategy {
+	case "zdr":
+		strat = cluster.ZeroDowntime
+	case "hard":
+		strat = cluster.HardRestart
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q (want zdr or hard)\n", *strategy)
+		os.Exit(2)
+	}
+
+	if *day {
+		runDay(strat, *machines, *batch, *drain, *releaseHour, *peakLoad)
+		return
+	}
+
+	res := cluster.RunRelease(cluster.Config{
+		Machines:        *machines,
+		BatchFraction:   *batch,
+		DrainPeriod:     *drain,
+		BatchGap:        *gap,
+		RestartOverhead: *restart,
+		Strategy:        strat,
+		Load:            *load,
+		Tick:            *tick,
+		Seed:            *seed,
+	})
+
+	fmt.Println(res)
+	fmt.Printf("\n%8s  %9s  %9s  %7s  %7s  %7s\n", "t", "capacity", "idle-cpu", "rps-gr", "rps-gnr", "cpu-gr")
+	step := len(res.Timeline)/40 + 1
+	for i, s := range res.Timeline {
+		if i%step != 0 {
+			continue
+		}
+		fmt.Printf("%8v  %8.1f%%  %8.1f%%  %7.2f  %7.2f  %7.2f\n",
+			s.T.Round(time.Second), s.CapacityFraction*100, s.IdleCPUFraction*100,
+			s.RPSRestartedGroup, s.RPSNonRestartedGroup, s.CPURestartedGroup)
+	}
+	fmt.Printf("\ncompletion=%v  minCapacity=%.1f%%  minIdleCPU=%.1f%%  disruptedConns=%d\n",
+		res.CompletionTime, res.MinCapacityFraction*100, res.MinIdleCPUFraction*100, res.DisruptedConns)
+}
+
+// runDay prints the 24-hour diurnal timeline with one scheduled release.
+func runDay(strat cluster.Strategy, machines int, batch float64, drain time.Duration, releaseHour int, peakLoad float64) {
+	res := cluster.RunDay(cluster.DayConfig{
+		Machines:      machines,
+		PeakLoad:      peakLoad,
+		ReleaseHour:   releaseHour,
+		BatchFraction: batch,
+		DrainPeriod:   drain,
+		Strategy:      strat,
+	})
+	fmt.Printf("%5s  %6s  %9s  %6s  %9s  %s\n", "hour", "load", "capacity", "util", "release", "state")
+	for _, h := range res.Hours {
+		state := ""
+		if h.Saturated {
+			state = "SATURATED"
+		}
+		rel := ""
+		if h.ReleaseActive {
+			rel = "active"
+		}
+		fmt.Printf("%02d:00  %5.1f%%  %8.1f%%  %5.1f%%  %9s  %s\n",
+			h.Hour, h.Load*100, h.Capacity*100, h.Utilisation*100, rel, state)
+	}
+	fmt.Printf("\nsaturated hours: %d   worst utilisation: %.1f%%\n",
+		res.SaturatedHours, res.WorstUtilisation*100)
+}

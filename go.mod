@@ -1,0 +1,3 @@
+module zdr
+
+go 1.22

@@ -1,0 +1,384 @@
+// Package appserver implements the HHVM-style application server tier
+// (§2.1) with the server side of Partial Post Replay (§4.3).
+//
+// Workloads are "dominated by short-lived API requests" but include
+// long-lived HTTP POST uploads. The tier restarts extremely frequently
+// (up to ~100 releases/week) with a very brief draining period (10–15 s),
+// so the interesting behaviour is what happens to a POST whose body is
+// still arriving when the restart begins:
+//
+//   - Without PPR the server would fail the request with a 500 (user-
+//     visible disruption) or a 307 (full retry over the WAN).
+//   - With PPR the server responds 379 "PartialPOST" and *echoes back the
+//     partially received body* to the downstream proxy, which rebuilds
+//     the original request and replays it to a healthy server. The server
+//     is too resource-constrained for Socket Takeover (two parallel HHVM
+//     instances don't fit in memory, §4.4), which is why hand-back to the
+//     downstream proxy is the mechanism of choice at this tier.
+package appserver
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"zdr/internal/http1"
+	"zdr/internal/metrics"
+)
+
+// Handler produces the response for a fully received request.
+type Handler func(req *http1.Request, body []byte) *http1.Response
+
+// Mode selects the restart behaviour for in-flight POSTs.
+type Mode int
+
+const (
+	// ModePPR responds 379 + partial body (§4.3 option iv, the paper's).
+	ModePPR Mode = iota
+	// ModeFail500 responds 500 (§4.3 option i, baseline).
+	ModeFail500
+	// ModeRedirect307 responds 307 (§4.3 option ii, baseline).
+	ModeRedirect307
+)
+
+// Config tunes the server.
+type Config struct {
+	// Name identifies the instance in metrics and X-Served-By.
+	Name string
+	// Handler serves completed requests; nil installs a default echo.
+	Handler Handler
+	// Mode selects restart behaviour (default ModePPR).
+	Mode Mode
+	// DrainPeriod is how long Shutdown waits for requests whose bodies
+	// have already fully arrived (default 100ms in tests; the paper's
+	// tier uses 10–15s).
+	DrainPeriod time.Duration
+	// BodyChunk is the body streaming granularity (default 4 KiB). The
+	// server checks for a drain signal between chunks.
+	BodyChunk int
+	// GraceWindow caps how long an interrupted body read keeps draining
+	// in-flight bytes before handing the request back (default 1s). An
+	// upload that finishes inside the window is served normally.
+	GraceWindow time.Duration
+	// GraceSilence is how long the line must go quiet inside the grace
+	// window before the partial body is considered settled (default 100ms).
+	GraceSilence time.Duration
+}
+
+// Server is one app-server instance.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+
+	ln net.Listener
+
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+	conns    map[net.Conn]struct{}
+
+	drainCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New creates a server. reg may be nil.
+func New(cfg Config, reg *metrics.Registry) *Server {
+	if cfg.Handler == nil {
+		cfg.Handler = func(req *http1.Request, body []byte) *http1.Response {
+			resp := http1.NewResponse(200, bytes.NewReader(body), int64(len(body)))
+			resp.Header.Set("X-Echo-Method", req.Method)
+			return resp
+		}
+	}
+	if cfg.DrainPeriod <= 0 {
+		cfg.DrainPeriod = 100 * time.Millisecond
+	}
+	if cfg.BodyChunk <= 0 {
+		cfg.BodyChunk = 4 << 10
+	}
+	if cfg.GraceWindow <= 0 {
+		cfg.GraceWindow = time.Second
+	}
+	if cfg.GraceSilence <= 0 {
+		cfg.GraceSilence = 100 * time.Millisecond
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Server{
+		cfg:     cfg,
+		reg:     reg,
+		conns:   make(map[net.Conn]struct{}),
+		drainCh: make(chan struct{}),
+	}
+}
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Name returns the configured instance name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Listen binds addr and starts accepting.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			// Draining instances accept no new connections (§2.3).
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Draining reports whether the instance is in its drain phase.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown begins the restart: stop accepting, let complete requests
+// finish within the drain period, and hand back in-flight POSTs per the
+// configured Mode. It returns when the instance is fully down.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	close(s.drainCh)
+	// Kick blocked body reads: an expired read deadline wakes them so the
+	// handler can observe the drain and hand the request back. Writes are
+	// unaffected, so the 379 response still goes out.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+
+	// Give requests already past their body a drain window.
+	time.Sleep(s.cfg.DrainPeriod)
+
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Handlers exit on their own: kicked reads either hand their request
+	// back (379/500/307) or fail out, and completed requests finish their
+	// response writes. Wait rather than hard-close so those writes land.
+	s.wg.Wait()
+}
+
+// Close is an immediate, non-graceful stop (tests).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := http1.ReadRequest(br)
+		if err != nil {
+			return // clean close or peer gone
+		}
+		s.reg.Counter("appserver.requests").Inc()
+		keepGoing := s.serveRequest(conn, br, req)
+		if !keepGoing {
+			return
+		}
+	}
+}
+
+// serveRequest handles one request; false means close the connection.
+func (s *Server) serveRequest(conn net.Conn, br *bufio.Reader, req *http1.Request) bool {
+	body, complete, err := s.readBodyInterruptible(conn, req)
+	if err != nil {
+		s.reg.Counter("appserver.body.errors").Inc()
+		return false
+	}
+	if !complete {
+		// Restart caught the request mid-body: hand it back.
+		s.reg.Counter("appserver.inflight.at.restart").Inc()
+		return s.respondInterrupted(conn, req, body)
+	}
+	resp := s.cfg.Handler(req, body)
+	if resp == nil {
+		resp = http1.NewResponse(500, nil, 0)
+	}
+	resp.Header.Set("X-Served-By", s.cfg.Name)
+	if _, err := http1.WriteResponse(conn, resp); err != nil {
+		return false
+	}
+	s.reg.Counter(fmt.Sprintf("appserver.status.%d", resp.StatusCode)).Inc()
+	return true
+}
+
+// readBodyInterruptible streams the request body, checking the drain
+// signal between chunks. complete=false means the drain interrupted it.
+// No read deadline is set during normal operation — Shutdown kicks blocked
+// reads by expiring the connection's read deadline, and a timeout observed
+// while draining means "restart caught this body mid-flight".
+func (s *Server) readBodyInterruptible(conn net.Conn, req *http1.Request) (body []byte, complete bool, err error) {
+	if req.Body == nil {
+		return nil, true, nil
+	}
+	buf := make([]byte, s.cfg.BodyChunk)
+	for {
+		select {
+		case <-s.drainCh:
+			return s.graceRead(conn, req, body)
+		default:
+		}
+		n, rerr := req.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if rerr == io.EOF {
+			return body, true, nil
+		}
+		if rerr != nil {
+			var ne net.Error
+			if errors.As(rerr, &ne) && ne.Timeout() && s.Draining() {
+				return s.graceRead(conn, req, body)
+			}
+			return body, false, rerr
+		}
+	}
+}
+
+// graceRead drains bytes already in flight from the downstream proxy after
+// the restart signal: the proxy stops forwarding as soon as it sees our
+// 379, so reading until the line goes quiet guarantees the partial body we
+// hand back contains every byte the proxy believes it delivered — the
+// invariant Partial Post Replay needs for the replayed request to equal
+// the original. Returns complete=true if the body actually finished during
+// the grace window (then it is served normally instead of handed back).
+func (s *Server) graceRead(conn net.Conn, req *http1.Request, body []byte) ([]byte, bool, error) {
+	silence := s.cfg.GraceSilence
+	buf := make([]byte, s.cfg.BodyChunk)
+	deadline := time.Now().Add(s.cfg.GraceWindow)
+	for time.Now().Before(deadline) {
+		conn.SetReadDeadline(time.Now().Add(silence))
+		n, err := req.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if err == io.EOF {
+			conn.SetReadDeadline(time.Time{})
+			return body, true, nil
+		}
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if n == 0 {
+					break // line went quiet: everything in flight captured
+				}
+				continue
+			}
+			break // peer gone; hand back what we have
+		}
+	}
+	return body, false, nil
+}
+
+// respondInterrupted emits the Mode-selected response for a request whose
+// body was cut off by the restart. Always closes the connection after.
+func (s *Server) respondInterrupted(conn net.Conn, req *http1.Request, partial []byte) bool {
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	switch s.cfg.Mode {
+	case ModeFail500:
+		resp := http1.NewResponse(500, nil, 0)
+		resp.Header.Set("X-Served-By", s.cfg.Name)
+		http1.WriteResponse(conn, resp)
+		s.reg.Counter("appserver.status.500").Inc()
+	case ModeRedirect307:
+		resp := http1.NewResponse(307, nil, 0)
+		resp.Header.Set("Location", req.Target)
+		resp.Header.Set("X-Served-By", s.cfg.Name)
+		http1.WriteResponse(conn, resp)
+		s.reg.Counter("appserver.status.307").Inc()
+	default: // ModePPR
+		resp := http1.NewResponse(http1.StatusPartialPostReplay, bytes.NewReader(partial), int64(len(partial)))
+		// §5.2: pseudo-headers of the original request are echoed with a
+		// special prefix so the proxy can rebuild the request.
+		resp.Header.Set(http1.EchoPseudoHeader(":method"), req.Method)
+		resp.Header.Set(http1.EchoPseudoHeader(":path"), req.Target)
+		if req.ContentLength >= 0 {
+			resp.Header.Set("X-Original-Content-Length", strconv.FormatInt(req.ContentLength, 10))
+		}
+		resp.Header.Set("X-Served-By", s.cfg.Name)
+		http1.WriteResponse(conn, resp)
+		s.reg.Counter("appserver.status.379").Inc()
+	}
+	return false
+}

@@ -1,0 +1,291 @@
+package appserver
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"zdr/internal/http1"
+)
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Name == "" {
+		cfg.Name = "as-1"
+	}
+	s := New(cfg, nil)
+	if _, err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func dialReq(t *testing.T, addr string, req *http1.Request) (*http1.Response, net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http1.WriteRequest(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	resp, err := http1.ReadResponse(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, conn, br
+}
+
+func TestServeSimpleRequests(t *testing.T) {
+	s := startServer(t, Config{})
+	body := "upload-data"
+	resp, conn, _ := dialReq(t, s.Addr(), http1.NewRequest("POST", "/api", strings.NewReader(body), int64(len(body))))
+	defer conn.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Served-By") != "as-1" {
+		t.Fatal("X-Served-By missing")
+	}
+	b, _ := http1.ReadFullBody(resp.Body)
+	if string(b) != body {
+		t.Fatalf("echo = %q", b)
+	}
+}
+
+func TestKeepAlive(t *testing.T) {
+	s := startServer(t, Config{})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for i := 0; i < 5; i++ {
+		if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", "/ping", nil, 0)); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		resp, err := http1.ReadResponse(br)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		http1.ReadFullBody(resp.Body)
+	}
+}
+
+func TestCustomHandler(t *testing.T) {
+	s := startServer(t, Config{Handler: func(req *http1.Request, body []byte) *http1.Response {
+		if req.Target == "/404" {
+			return http1.NewResponse(404, nil, 0)
+		}
+		return http1.NewResponse(200, strings.NewReader("ok"), 2)
+	}})
+	resp, conn, _ := dialReq(t, s.Addr(), http1.NewRequest("GET", "/404", nil, 0))
+	conn.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// TestPPROnRestart: a POST whose body is mid-flight when Shutdown begins
+// receives 379 + the partial body (§4.3).
+func TestPPROnRestart(t *testing.T) {
+	s := startServer(t, Config{Mode: ModePPR, DrainPeriod: 50 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Send head + half the body, then stall.
+	partial := bytes.Repeat([]byte("A"), 1000)
+	head := "POST /upload HTTP/1.1\r\nContent-Length: 2000\r\n\r\n"
+	if _, err := conn.Write([]byte(head)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(partial); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the server consume the half
+
+	go s.Shutdown()
+
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	resp, err := http1.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !http1.IsPartialPostReplay(resp) {
+		t.Fatalf("status = %d %q, want 379 PartialPOST", resp.StatusCode, resp.StatusMessage)
+	}
+	if resp.Header.Get(http1.EchoPseudoHeader(":method")) != "POST" {
+		t.Fatal("method echo missing")
+	}
+	if resp.Header.Get(http1.EchoPseudoHeader(":path")) != "/upload" {
+		t.Fatal("path echo missing")
+	}
+	if resp.Header.Get("X-Original-Content-Length") != "2000" {
+		t.Fatal("original content length missing")
+	}
+	got, _ := http1.ReadFullBody(resp.Body)
+	if !bytes.Equal(got, partial) {
+		t.Fatalf("partial body: got %d bytes, want %d identical bytes", len(got), len(partial))
+	}
+	if s.Metrics().CounterValue("appserver.status.379") != 1 {
+		t.Fatal("379 not counted")
+	}
+}
+
+// TestFail500OnRestart is the §4.3 option-(i) baseline.
+func TestFail500OnRestart(t *testing.T) {
+	s := startServer(t, Config{Mode: ModeFail500, DrainPeriod: 50 * time.Millisecond})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("POST /u HTTP/1.1\r\nContent-Length: 100\r\n\r\nhalf"))
+	time.Sleep(100 * time.Millisecond)
+	go s.Shutdown()
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	resp, err := http1.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 500 {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestRedirect307OnRestart is the §4.3 option-(ii) baseline.
+func TestRedirect307OnRestart(t *testing.T) {
+	s := startServer(t, Config{Mode: ModeRedirect307, DrainPeriod: 50 * time.Millisecond})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("POST /retry-me HTTP/1.1\r\nContent-Length: 100\r\n\r\nhalf"))
+	time.Sleep(100 * time.Millisecond)
+	go s.Shutdown()
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	resp, err := http1.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 307 || resp.Header.Get("Location") != "/retry-me" {
+		t.Fatalf("resp = %d %v", resp.StatusCode, resp.Header)
+	}
+}
+
+// TestChunkedPPR: a chunked upload interrupted by restart also hands back
+// its partial body (the §5.2 chunked corner case).
+func TestChunkedPPR(t *testing.T) {
+	s := startServer(t, Config{Mode: ModePPR, DrainPeriod: 50 * time.Millisecond})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("POST /up HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"))
+	conn.Write([]byte("5\r\nhello\r\n"))
+	// Mid-chunk stall: declare 10 bytes, deliver 3.
+	conn.Write([]byte("a\r\nwor"))
+	time.Sleep(100 * time.Millisecond)
+	go s.Shutdown()
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	resp, err := http1.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !http1.IsPartialPostReplay(resp) {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	got, _ := http1.ReadFullBody(resp.Body)
+	if string(got) != "hellowor" {
+		t.Fatalf("partial chunked body = %q, want %q", got, "hellowor")
+	}
+}
+
+// TestDrainCompletesFinishedRequests: a request whose body fully arrived
+// before the drain still gets its 200 during the drain period.
+func TestDrainCompletesFinishedRequests(t *testing.T) {
+	slow := make(chan struct{})
+	s := startServer(t, Config{
+		DrainPeriod: 500 * time.Millisecond,
+		Handler: func(req *http1.Request, body []byte) *http1.Response {
+			<-slow // simulate slow app logic
+			return http1.NewResponse(200, strings.NewReader("done"), 4)
+		},
+	})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := "all-here"
+	if _, err := http1.WriteRequest(conn, http1.NewRequest("POST", "/x", strings.NewReader(body), int64(len(body)))); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // body fully at server, handler blocked
+	done := make(chan struct{})
+	go func() { s.Shutdown(); close(done) }()
+	time.Sleep(50 * time.Millisecond)
+	close(slow)
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	resp, err := http1.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("completed request failed during drain: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	<-done
+}
+
+// TestNoNewConnectionsWhileDraining: the §2.3 draining semantics.
+func TestNoNewConnectionsWhileDraining(t *testing.T) {
+	s := startServer(t, Config{DrainPeriod: 300 * time.Millisecond})
+	go s.Shutdown()
+	time.Sleep(50 * time.Millisecond)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		return // listener already closed: acceptable
+	}
+	defer conn.Close()
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := http1.ReadResponse(bufio.NewReader(conn)); err == nil {
+		t.Fatal("draining server answered a new connection")
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	s := startServer(t, Config{DrainPeriod: 10 * time.Millisecond})
+	s.Shutdown()
+	s.Shutdown()
+	s.Close()
+}
+
+func TestGETUnaffectedByDrainSignalRace(t *testing.T) {
+	// GETs (no body) served normally right up to the drain.
+	s := startServer(t, Config{})
+	for i := 0; i < 10; i++ {
+		resp, conn, _ := dialReq(t, s.Addr(), http1.NewRequest("GET", "/", nil, 0))
+		conn.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"time"
+
+	"zdr/internal/workload"
+)
+
+// DayConfig parameterises a 24-hour operational simulation: a diurnal
+// load curve with one Proxygen release scheduled at a given local hour
+// (§6.2.2: with ZDR, releases happen at peak; traditionally they were
+// pushed to the night).
+type DayConfig struct {
+	// Machines in the edge cluster. Default 100.
+	Machines int
+	// PeakLoad is the utilisation at the 16:00 peak (the diurnal curve
+	// scales from it). Default 0.85.
+	PeakLoad float64
+	// ReleaseHour is the local hour the rolling release starts. Use
+	// workload.RestartHour to sample a realistic one.
+	ReleaseHour int
+	// BatchFraction / DrainPeriod as in Config. Defaults 0.2 / 20 min.
+	BatchFraction float64
+	DrainPeriod   time.Duration
+	// Strategy selects HardRestart or ZeroDowntime.
+	Strategy Strategy
+}
+
+func (c *DayConfig) fill() {
+	if c.Machines <= 0 {
+		c.Machines = 100
+	}
+	if c.PeakLoad <= 0 || c.PeakLoad >= 1 {
+		c.PeakLoad = 0.85
+	}
+	if c.BatchFraction <= 0 || c.BatchFraction > 1 {
+		c.BatchFraction = 0.2
+	}
+	if c.DrainPeriod <= 0 {
+		c.DrainPeriod = 20 * time.Minute
+	}
+}
+
+// HourSample is one hour of the simulated day.
+type HourSample struct {
+	Hour int
+	// Load is offered load as a fraction of full-fleet capacity.
+	Load float64
+	// Capacity is the serving pool fraction (1.0 unless a HardRestart
+	// batch is in progress this hour).
+	Capacity float64
+	// Utilisation is load/capacity on the serving pool.
+	Utilisation float64
+	// Saturated marks utilisation >= 1 (requests dropped/queued).
+	Saturated bool
+	// ReleaseActive marks hours overlapped by the rolling release.
+	ReleaseActive bool
+}
+
+// DayResult is the full 24-hour timeline.
+type DayResult struct {
+	Hours          []HourSample
+	SaturatedHours int
+	// WorstUtilisation is the day's peak serving-pool utilisation.
+	WorstUtilisation float64
+}
+
+// RunDay simulates the day. The release spans consecutive hours until all
+// batches finish (batches of BatchFraction, one drain period each).
+func RunDay(cfg DayConfig) DayResult {
+	cfg.fill()
+	batches := int(1/cfg.BatchFraction + 0.999)
+	releaseHours := int((time.Duration(batches)*cfg.DrainPeriod + time.Hour - 1) / time.Hour)
+	if releaseHours < 1 {
+		releaseHours = 1
+	}
+
+	var res DayResult
+	for h := 0; h < 24; h++ {
+		load := cfg.PeakLoad * workload.DiurnalLoad(float64(h))
+		sample := HourSample{Hour: h, Load: load, Capacity: 1}
+		if h >= cfg.ReleaseHour && h < cfg.ReleaseHour+releaseHours {
+			sample.ReleaseActive = true
+			if cfg.Strategy == HardRestart {
+				sample.Capacity = 1 - cfg.BatchFraction
+			}
+		}
+		sample.Utilisation = sample.Load / sample.Capacity
+		if cfg.Strategy == ZeroDowntime && sample.ReleaseActive {
+			// Parallel-instance overhead on the restarted batch.
+			sample.Utilisation *= 1.04
+		}
+		if sample.Utilisation >= 1 {
+			sample.Saturated = true
+			res.SaturatedHours++
+		}
+		if sample.Utilisation > res.WorstUtilisation {
+			res.WorstUtilisation = sample.Utilisation
+		}
+		res.Hours = append(res.Hours, sample)
+	}
+	return res
+}

@@ -1,0 +1,45 @@
+package cluster_test
+
+import (
+	"fmt"
+	"time"
+
+	"zdr/internal/cluster"
+)
+
+// Example contrasts the two release strategies on the same fleet — the
+// repository's one-paragraph version of the paper.
+func Example() {
+	base := cluster.Config{
+		Machines:      100,
+		BatchFraction: 0.20,
+		DrainPeriod:   20 * time.Minute,
+		Tick:          time.Minute,
+		Seed:          7,
+	}
+	hard := base
+	hard.Strategy = cluster.HardRestart
+	zdr := base
+	zdr.Strategy = cluster.ZeroDowntime
+
+	h, z := cluster.RunRelease(hard), cluster.RunRelease(zdr)
+	fmt.Printf("HardRestart:  capacity dips to %.0f%%, %d connections disrupted\n",
+		h.MinCapacityFraction*100, h.DisruptedConns)
+	fmt.Printf("ZeroDowntime: capacity dips to %.0f%%, %d connections disrupted\n",
+		z.MinCapacityFraction*100, z.DisruptedConns)
+	// Output:
+	// HardRestart:  capacity dips to 80%, 800000 connections disrupted
+	// ZeroDowntime: capacity dips to 100%, 0 connections disrupted
+}
+
+// ExampleReleaseAtLoad shows why the paper's mechanisms unlock peak-hour
+// releases (§6.2.2).
+func ExampleReleaseAtLoad() {
+	hard := cluster.ReleaseAtLoad(cluster.HardRestart, 0.85)
+	zdr := cluster.ReleaseAtLoad(cluster.ZeroDowntime, 0.85)
+	fmt.Println("HardRestart at peak saturates:", hard.Saturated)
+	fmt.Println("ZeroDowntime at peak saturates:", zdr.Saturated)
+	// Output:
+	// HardRestart at peak saturates: true
+	// ZeroDowntime at peak saturates: false
+}

@@ -1,0 +1,31 @@
+package consistent_test
+
+import (
+	"fmt"
+
+	"zdr/internal/consistent"
+)
+
+// ExampleMaglev shows the steering primitive Katran uses: a flow hash maps
+// to the same backend on every LB instance, and removing a backend moves
+// only (roughly) its own share of flows.
+func ExampleMaglev() {
+	lb := consistent.NewMaglev(0, "proxy-a", "proxy-b", "proxy-c")
+	fmt.Println(lb.Pick("flow-1") == lb.Pick("flow-1"))
+
+	smaller := consistent.NewMaglev(0, "proxy-a", "proxy-b")
+	moved := consistent.Disruption(lb, smaller, 10_000)
+	fmt.Println(moved > 0.2 && moved < 0.5) // ~1/3 of flows owned by proxy-c
+	// Output:
+	// true
+	// true
+}
+
+// ExampleRing shows the user-id → broker mapping DCR relies on: every
+// Origin resolves the same user to the same broker.
+func ExampleRing() {
+	origin1 := consistent.NewRing(0, "broker-1", "broker-2", "broker-3")
+	origin2 := consistent.NewRing(0, "broker-1", "broker-2", "broker-3")
+	fmt.Println(origin1.Pick("user-12345") == origin2.Pick("user-12345"))
+	// Output: true
+}

@@ -1,0 +1,391 @@
+// Package core is the Zero Downtime Release framework itself — the
+// orchestration layer that composes the three mechanisms (Socket Takeover,
+// Downstream Connection Reuse, Partial Post Replay) into disruption-free
+// rolling releases across a fleet (§4).
+//
+// The pieces:
+//
+//   - ProxySlot manages successive generations of one Proxygen instance on
+//     a fixed takeover path: Restart spins up the new generation, performs
+//     the Socket Takeover hand-off (which flips the old generation into
+//     draining — triggering GOAWAY and DCR solicitations at the Origin),
+//     and retires the old generation after its drain period.
+//   - AppServerSlot manages an HHVM-style app server: Restart is a drain-
+//     and-replace (the tier is too memory-constrained for two parallel
+//     instances, §4.4) during which in-flight POSTs are handed back to the
+//     downstream proxy via PPR.
+//   - Release executes a rolling update over any set of Restartables in
+//     batches (§2.3), recording per-batch and total completion times —
+//     the quantity Fig. 16 reports.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"zdr/internal/appserver"
+	"zdr/internal/metrics"
+	"zdr/internal/proxy"
+)
+
+// Restartable is one release target.
+type Restartable interface {
+	// Name identifies the instance.
+	Name() string
+	// Restart replaces the running generation with a new one, returning
+	// once the new generation is serving.
+	Restart() error
+}
+
+// ProxySlot manages generations of a Proxygen instance.
+type ProxySlot struct {
+	// SlotName identifies the slot (instance) in reports.
+	SlotName string
+	// Path is the fixed UNIX socket path used for Socket Takeover.
+	Path string
+	// Build constructs the next generation (the "new binary"). Called
+	// once per Start/Restart.
+	Build func() *proxy.Proxy
+	// DrainWait is how long the old generation drains before termination.
+	// Zero uses the old generation's own Shutdown default asynchronously.
+	DrainWait time.Duration
+
+	mu  sync.Mutex
+	cur *proxy.Proxy
+	gen int
+}
+
+// Start brings up the first generation.
+func (s *ProxySlot) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != nil {
+		return errors.New("core: slot already started")
+	}
+	p := s.Build()
+	if err := p.Listen(); err != nil {
+		return err
+	}
+	if err := p.ServeTakeover(s.Path); err != nil {
+		p.Close()
+		return err
+	}
+	s.cur = p
+	s.gen = 1
+	return nil
+}
+
+// Current returns the serving generation.
+func (s *ProxySlot) Current() *proxy.Proxy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Generation returns the generation counter (1 = first).
+func (s *ProxySlot) Generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Name implements Restartable.
+func (s *ProxySlot) Name() string { return s.SlotName }
+
+// Restart performs a Zero Downtime Restart: the new generation takes the
+// sockets over; the old generation drains (GOAWAY + DCR solicitations
+// happen inside proxy.StartDraining) and terminates in the background.
+func (s *ProxySlot) Restart() error {
+	s.mu.Lock()
+	old := s.cur
+	s.mu.Unlock()
+	if old == nil {
+		return errors.New("core: slot not started")
+	}
+	next := s.Build()
+	if _, err := next.TakeoverFrom(s.Path); err != nil {
+		next.Close()
+		return fmt.Errorf("core: takeover failed, old generation keeps serving: %w", err)
+	}
+	// The hand-off flipped the old generation into draining via its
+	// takeover server callback. Retire it in the background and promote
+	// the new generation.
+	go func(old *proxy.Proxy) {
+		if s.DrainWait > 0 {
+			time.Sleep(s.DrainWait)
+			old.Close()
+			return
+		}
+		old.Shutdown()
+	}(old)
+	// New generation stands up its own takeover server for the release
+	// after this one. The old generation's server closed its socket after
+	// the hand-off; retry briefly to absorb that teardown.
+	var err error
+	for i := 0; i < 20; i++ {
+		if err = next.ServeTakeover(s.Path); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("core: new generation cannot arm takeover server: %w", err)
+	}
+	s.mu.Lock()
+	s.cur = next
+	s.gen++
+	s.mu.Unlock()
+	return nil
+}
+
+// RestartFresh performs the §5.1 remediation restart: instead of passing
+// the existing socket FDs (whose in-kernel state survives a process
+// restart — the pitfall behind the UDP GSO sk_buff bug the paper
+// describes), the next generation binds BRAND-NEW sockets on the same
+// addresses. SO_REUSEPORT lets old and new coexist during the switch, so
+// TCP service continues; the trade-off is exactly the paper's: UDP VIPs
+// suffer socket-ring flux during a fresh rebind, which is why this path
+// is a rollback/mitigation tool, not the default.
+//
+// build receives the current generation's bound VIP addresses and must
+// return a proxy configured to bind them (Config.VIPAddrs).
+func (s *ProxySlot) RestartFresh(build func(vipAddrs map[string]string) *proxy.Proxy) error {
+	s.mu.Lock()
+	old := s.cur
+	s.mu.Unlock()
+	if old == nil {
+		return errors.New("core: slot not started")
+	}
+	next := build(old.VIPAddrs())
+	if next == nil {
+		return errors.New("core: build returned nil")
+	}
+	if err := next.Listen(); err != nil {
+		return fmt.Errorf("core: fresh rebind failed, old generation keeps serving: %w", err)
+	}
+	// Old generation leaves the pool: health answers DRAIN and its accept
+	// loops stop, so the new sockets receive all new connections.
+	old.StopTakeoverServer()
+	old.StartDraining()
+	go func(old *proxy.Proxy) {
+		if s.DrainWait > 0 {
+			time.Sleep(s.DrainWait)
+			old.Close()
+			return
+		}
+		old.Shutdown()
+	}(old)
+	var err error
+	for i := 0; i < 20; i++ {
+		if err = next.ServeTakeover(s.Path); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("core: new generation cannot arm takeover server: %w", err)
+	}
+	s.mu.Lock()
+	s.cur = next
+	s.gen++
+	s.mu.Unlock()
+	return nil
+}
+
+// Close shuts the current generation down.
+func (s *ProxySlot) Close() {
+	s.mu.Lock()
+	cur := s.cur
+	s.cur = nil
+	s.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+}
+
+// AppServerSlot manages generations of an app server on a fixed address.
+type AppServerSlot struct {
+	// SlotName identifies the slot.
+	SlotName string
+	// Build constructs the next generation.
+	Build func() *appserver.Server
+
+	mu   sync.Mutex
+	cur  *appserver.Server
+	addr string
+	gen  int
+}
+
+// Start brings up the first generation on addr ("127.0.0.1:0" for an
+// ephemeral port; later generations reuse the resolved address).
+func (s *AppServerSlot) Start(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != nil {
+		return errors.New("core: slot already started")
+	}
+	as := s.Build()
+	bound, err := as.Listen(addr)
+	if err != nil {
+		return err
+	}
+	s.cur = as
+	s.addr = bound
+	s.gen = 1
+	return nil
+}
+
+// Addr returns the slot's serving address.
+func (s *AppServerSlot) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Current returns the serving generation.
+func (s *AppServerSlot) Current() *appserver.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Generation returns the generation counter.
+func (s *AppServerSlot) Generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Name implements Restartable.
+func (s *AppServerSlot) Name() string { return s.SlotName }
+
+// Restart drains the old generation (handing in-flight POSTs back via
+// PPR), then binds the new generation on the same address. The brief
+// listening gap is what the downstream proxy's retry logic (§4.4) covers.
+func (s *AppServerSlot) Restart() error {
+	s.mu.Lock()
+	old := s.cur
+	addr := s.addr
+	s.mu.Unlock()
+	if old == nil {
+		return errors.New("core: slot not started")
+	}
+	old.Shutdown()
+	next := s.Build()
+	var err error
+	for i := 0; i < 50; i++ {
+		if _, err = next.Listen(addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("core: new generation cannot bind %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.cur = next
+	s.gen++
+	s.mu.Unlock()
+	return nil
+}
+
+// Close shuts the current generation down.
+func (s *AppServerSlot) Close() {
+	s.mu.Lock()
+	cur := s.cur
+	s.cur = nil
+	s.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+}
+
+// Plan configures a rolling release (§2.3: updates are released to
+// batches of machines; each batch drains before the next begins).
+type Plan struct {
+	// BatchFraction is the fraction of the fleet restarted concurrently
+	// (the paper evaluates 5%, 15% and 20%). Default 0.2.
+	BatchFraction float64
+	// BatchDelay is a pause between batches (the "time gap when one
+	// batch finished and the other started" visible in Fig. 3a).
+	BatchDelay time.Duration
+	// FailFast aborts the release on the first restart error; otherwise
+	// errors are recorded and the release continues.
+	FailFast bool
+}
+
+// BatchReport records one batch's outcome.
+type BatchReport struct {
+	Targets  []string
+	Duration time.Duration
+	Errors   []error
+}
+
+// Report summarises a release.
+type Report struct {
+	Total    time.Duration
+	Batches  []BatchReport
+	Restarts int
+	Failed   int
+}
+
+// Run executes a rolling release over targets. Restarts within a batch run
+// concurrently; batches are sequential.
+func Run(plan Plan, targets []Restartable, reg *metrics.Registry) (*Report, error) {
+	if plan.BatchFraction <= 0 || plan.BatchFraction > 1 {
+		plan.BatchFraction = 0.2
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	batchSize := int(float64(len(targets)) * plan.BatchFraction)
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	report := &Report{}
+	start := time.Now()
+	for off := 0; off < len(targets); off += batchSize {
+		end := off + batchSize
+		if end > len(targets) {
+			end = len(targets)
+		}
+		batch := targets[off:end]
+		br := BatchReport{}
+		for _, t := range batch {
+			br.Targets = append(br.Targets, t.Name())
+		}
+		bStart := time.Now()
+		errs := make([]error, len(batch))
+		var wg sync.WaitGroup
+		for i, t := range batch {
+			wg.Add(1)
+			go func(i int, t Restartable) {
+				defer wg.Done()
+				errs[i] = t.Restart()
+			}(i, t)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			report.Restarts++
+			reg.Counter("core.restarts").Inc()
+			if err != nil {
+				report.Failed++
+				reg.Counter("core.restart_failures").Inc()
+				br.Errors = append(br.Errors, err)
+			}
+		}
+		br.Duration = time.Since(bStart)
+		report.Batches = append(report.Batches, br)
+		if plan.FailFast && len(br.Errors) > 0 {
+			report.Total = time.Since(start)
+			return report, br.Errors[0]
+		}
+		if end < len(targets) && plan.BatchDelay > 0 {
+			time.Sleep(plan.BatchDelay)
+		}
+	}
+	report.Total = time.Since(start)
+	return report, nil
+}

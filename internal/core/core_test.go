@@ -1,0 +1,372 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"zdr/internal/appserver"
+	"zdr/internal/http1"
+	"zdr/internal/metrics"
+	"zdr/internal/proxy"
+)
+
+// fakeTarget is a scripted Restartable for Plan/Run unit tests.
+type fakeTarget struct {
+	name  string
+	delay time.Duration
+	err   error
+
+	mu       sync.Mutex
+	restarts int
+	at       []time.Time
+}
+
+func (f *fakeTarget) Name() string { return f.name }
+func (f *fakeTarget) Restart() error {
+	f.mu.Lock()
+	f.restarts++
+	f.at = append(f.at, time.Now())
+	f.mu.Unlock()
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	return f.err
+}
+
+func TestRunRestartsEveryTarget(t *testing.T) {
+	var targets []Restartable
+	var fakes []*fakeTarget
+	for i := 0; i < 10; i++ {
+		f := &fakeTarget{name: fmt.Sprintf("t%d", i)}
+		fakes = append(fakes, f)
+		targets = append(targets, f)
+	}
+	rep, err := Run(Plan{BatchFraction: 0.2}, targets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 10 || rep.Failed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Batches) != 5 {
+		t.Fatalf("batches = %d, want 5 (20%% of 10)", len(rep.Batches))
+	}
+	for _, f := range fakes {
+		if f.restarts != 1 {
+			t.Fatalf("%s restarted %d times", f.name, f.restarts)
+		}
+	}
+}
+
+func TestRunBatchSizing(t *testing.T) {
+	cases := []struct {
+		n        int
+		fraction float64
+		batches  int
+	}{
+		{10, 0.5, 2},
+		{10, 1.0, 1},
+		{3, 0.2, 3},  // batch size clamps to 1
+		{10, -1, 5},  // invalid fraction -> default 0.2
+		{10, 1.5, 5}, // invalid fraction -> default 0.2
+	}
+	for _, c := range cases {
+		var targets []Restartable
+		for i := 0; i < c.n; i++ {
+			targets = append(targets, &fakeTarget{name: fmt.Sprintf("t%d", i)})
+		}
+		rep, err := Run(Plan{BatchFraction: c.fraction}, targets, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Batches) != c.batches {
+			t.Fatalf("n=%d f=%v: batches = %d, want %d", c.n, c.fraction, len(rep.Batches), c.batches)
+		}
+	}
+}
+
+func TestRunRecordsErrorsAndContinues(t *testing.T) {
+	boom := errors.New("boom")
+	targets := []Restartable{
+		&fakeTarget{name: "a", err: boom},
+		&fakeTarget{name: "b"},
+	}
+	reg := metrics.NewRegistry()
+	rep, err := Run(Plan{BatchFraction: 0.5}, targets, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Restarts != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if reg.CounterValue("core.restart_failures") != 1 {
+		t.Fatal("failure not counted")
+	}
+}
+
+func TestRunFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	second := &fakeTarget{name: "b"}
+	targets := []Restartable{&fakeTarget{name: "a", err: boom}, second}
+	_, err := Run(Plan{BatchFraction: 0.5, FailFast: true}, targets, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if second.restarts != 0 {
+		t.Fatal("fail-fast still restarted the next batch")
+	}
+}
+
+func TestRunBatchesAreConcurrentWithinSequentialBatches(t *testing.T) {
+	a := &fakeTarget{name: "a", delay: 100 * time.Millisecond}
+	b := &fakeTarget{name: "b", delay: 100 * time.Millisecond}
+	c := &fakeTarget{name: "c"}
+	rep, err := Run(Plan{BatchFraction: 0.67}, []Restartable{a, b, c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b share a batch → total should be ~100ms, not ~200ms.
+	if rep.Total > 300*time.Millisecond {
+		t.Fatalf("batch concurrency broken: total = %v", rep.Total)
+	}
+	if c.at[0].Before(a.at[0].Add(90 * time.Millisecond)) {
+		t.Fatal("second batch started before first finished")
+	}
+}
+
+// TestProxySlotGenerations drives two successive zero-downtime restarts of
+// a real Edge proxy under continuous load: three generations, one socket,
+// zero failed requests.
+func TestProxySlotGenerations(t *testing.T) {
+	gen := 0
+	slot := &ProxySlot{
+		SlotName: "edge-slot",
+		Path:     filepath.Join(t.TempDir(), "edge.sock"),
+		Build: func() *proxy.Proxy {
+			gen++
+			return proxy.New(proxy.Config{
+				Name:          fmt.Sprintf("edge-g%d", gen),
+				Role:          proxy.RoleEdge,
+				Origins:       []string{"127.0.0.1:1"}, // unused: static only
+				DrainPeriod:   100 * time.Millisecond,
+				StaticContent: map[string][]byte{"/s": []byte("static")},
+			}, nil)
+		},
+	}
+	if err := slot.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer slot.Close()
+	addr := slot.Current().Addr(proxy.VIPWeb)
+
+	stop := make(chan struct{})
+	loadErr := make(chan error, 1)
+	go func() {
+		defer close(loadErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				loadErr <- err
+				return
+			}
+			if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", "/s", nil, 0)); err != nil {
+				loadErr <- err
+				conn.Close()
+				return
+			}
+			conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+			resp, err := http1.ReadResponse(bufio.NewReader(conn))
+			if err != nil || resp.StatusCode != 200 {
+				loadErr <- fmt.Errorf("resp=%v err=%v", resp, err)
+				conn.Close()
+				return
+			}
+			http1.ReadFullBody(resp.Body)
+			conn.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	for i := 0; i < 2; i++ {
+		if err := slot.Restart(); err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	if slot.Generation() != 3 {
+		t.Fatalf("generation = %d, want 3", slot.Generation())
+	}
+	close(stop)
+	if err, ok := <-loadErr; ok && err != nil {
+		t.Fatalf("load failed across generations: %v", err)
+	}
+	if slot.Current().Addr(proxy.VIPWeb) != addr {
+		t.Fatal("VIP address changed across takeover — socket was rebound")
+	}
+}
+
+// TestAppServerSlotRestart replaces an app-server generation on the same
+// address.
+func TestAppServerSlotRestart(t *testing.T) {
+	gen := 0
+	slot := &AppServerSlot{
+		SlotName: "as-slot",
+		Build: func() *appserver.Server {
+			gen++
+			return appserver.New(appserver.Config{
+				Name:        fmt.Sprintf("as-g%d", gen),
+				DrainPeriod: 20 * time.Millisecond,
+			}, nil)
+		},
+	}
+	if err := slot.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer slot.Close()
+	addr := slot.Addr()
+
+	get := func() string {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer conn.Close()
+		http1.WriteRequest(conn, http1.NewRequest("GET", "/", nil, 0))
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		resp, err := http1.ReadResponse(bufio.NewReader(conn))
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		http1.ReadFullBody(resp.Body)
+		return resp.Header.Get("X-Served-By")
+	}
+	if got := get(); got != "as-g1" {
+		t.Fatalf("generation 1 served by %q", got)
+	}
+	if err := slot.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if got := get(); got != "as-g2" {
+		t.Fatalf("generation 2 served by %q", got)
+	}
+	if slot.Addr() != addr {
+		t.Fatal("address changed across app server restart")
+	}
+}
+
+func TestSlotDoubleStartErrors(t *testing.T) {
+	slot := &AppServerSlot{SlotName: "x", Build: func() *appserver.Server {
+		return appserver.New(appserver.Config{Name: "a"}, nil)
+	}}
+	if err := slot.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer slot.Close()
+	if err := slot.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("double start accepted")
+	}
+}
+
+func TestRestartBeforeStartErrors(t *testing.T) {
+	ps := &ProxySlot{SlotName: "p", Build: func() *proxy.Proxy { return nil }}
+	if err := ps.Restart(); err == nil {
+		t.Fatal("restart before start accepted")
+	}
+	as := &AppServerSlot{SlotName: "a", Build: func() *appserver.Server { return nil }}
+	if err := as.Restart(); err == nil {
+		t.Fatal("restart before start accepted")
+	}
+}
+
+// TestProxySlotRestartFresh exercises the §5.1 remediation path: the next
+// generation binds brand-new sockets on the same addresses (SO_REUSEPORT
+// coexistence) instead of inheriting FDs — no downtime for TCP service.
+func TestProxySlotRestartFresh(t *testing.T) {
+	gen := 0
+	build := func(addrs map[string]string) *proxy.Proxy {
+		gen++
+		return proxy.New(proxy.Config{
+			Name:          fmt.Sprintf("edge-fresh-g%d", gen),
+			Role:          proxy.RoleEdge,
+			Origins:       []string{"127.0.0.1:1"},
+			DrainPeriod:   100 * time.Millisecond,
+			StaticContent: map[string][]byte{"/s": []byte("static")},
+			VIPAddrs:      addrs,
+		}, nil)
+	}
+	slot := &ProxySlot{
+		SlotName: "edge-fresh",
+		Path:     filepath.Join(t.TempDir(), "fresh.sock"),
+		Build:    func() *proxy.Proxy { return build(nil) },
+	}
+	if err := slot.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer slot.Close()
+	addr := slot.Current().Addr(proxy.VIPWeb)
+
+	get := func() (string, error) {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return "", err
+		}
+		defer conn.Close()
+		if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", "/s", nil, 0)); err != nil {
+			return "", err
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		resp, err := http1.ReadResponse(bufio.NewReader(conn))
+		if err != nil {
+			return "", err
+		}
+		http1.ReadFullBody(resp.Body)
+		return resp.Header.Get("Via"), nil
+	}
+
+	if via, err := get(); err != nil || via != "edge-fresh-g1" {
+		t.Fatalf("gen1: via=%q err=%v", via, err)
+	}
+	if err := slot.RestartFresh(build); err != nil {
+		t.Fatal(err)
+	}
+	if slot.Generation() != 2 {
+		t.Fatalf("generation = %d", slot.Generation())
+	}
+	if slot.Current().Addr(proxy.VIPWeb) != addr {
+		t.Fatal("fresh restart changed the VIP address")
+	}
+	// New connections now land on generation 2 (the old accept loops are
+	// stopped); every request must succeed throughout.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		via, err := get()
+		if err != nil {
+			t.Fatalf("request failed during fresh restart: %v", err)
+		}
+		if via == "edge-fresh-g2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("generation 2 never took over new connections (still %q)", via)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A further normal takeover restart still works after a fresh one.
+	if err := slot.Restart(); err != nil {
+		t.Fatalf("takeover restart after fresh restart: %v", err)
+	}
+	if via, err := get(); err != nil || via != "edge-fresh-g3" {
+		t.Fatalf("gen3: via=%q err=%v", via, err)
+	}
+}

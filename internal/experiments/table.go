@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure in the paper's
+// motivation and evaluation sections. Each experiment is a function
+// returning a Table — the same rows/series the paper reports — built
+// either from the virtual-time fleet simulator (cluster-scale figures) or
+// from real sockets on localhost (protocol-level figures).
+//
+// The per-experiment index lives in DESIGN.md §3; EXPERIMENTS.md records
+// paper-vs-measured values. `cmd/zdr-exp` prints every table, and the
+// repo-root bench suite wraps each experiment in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated figure or table.
+type Table struct {
+	// ID matches the per-experiment index (e.g. "F8", "F12").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+	// Notes records the paper's expectation and how the measured shape
+	// compares.
+	Notes string
+}
+
+// Render formats the table as aligned plain text.
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat(" --- |", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "\n*%s*\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Experiment couples an ID to its generator.
+type Experiment struct {
+	ID  string
+	Run func() (Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"F2a", Fig2aReleaseCadence},
+		{"F2b", Fig2bReleaseCauses},
+		{"F2c", Fig2cCommitsPerRelease},
+		{"F2d", Fig2dReuseportMisrouting},
+		{"F3a", Fig3aCapacityTimeline},
+		{"F3b", Fig3bReconnectCPU},
+		{"F8", Fig8IdleCPU},
+		{"F9", Fig9DCRTimeline},
+		{"F10", Fig10UDPMisrouting},
+		{"F11", Fig11PPRDisruption},
+		{"F12", Fig12ProxyErrors},
+		{"F13", Fig13ReleaseTimeline},
+		{"F15", Fig15RestartHours},
+		{"F16", Fig16CompletionTime},
+		{"F17", Fig17TakeoverOverhead},
+		{"T-A", TblPPRRetries},
+		{"T-B", TblHeadlineBenefits},
+		{"T-C", TblPeakHourRelease},
+	}
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

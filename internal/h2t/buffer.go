@@ -1,0 +1,88 @@
+package h2t
+
+import (
+	"io"
+	"sync"
+)
+
+// recvBuffer is an unbounded byte buffer with blocking reads. The session
+// reader goroutine appends DATA payloads; stream consumers Read. Unbounded
+// buffering stands in for HTTP/2 flow control (see package comment).
+type recvBuffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	eof    bool  // peer half-closed cleanly
+	err    error // terminal error (RST / session death)
+	closed bool  // local reader gave up
+}
+
+func newRecvBuffer() *recvBuffer {
+	b := &recvBuffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// append adds data; no-op after terminal state.
+func (b *recvBuffer) append(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.eof || b.err != nil || b.closed {
+		return
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+}
+
+// setEOF marks a clean end of stream after buffered data drains.
+func (b *recvBuffer) setEOF() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.eof = true
+	b.cond.Broadcast()
+}
+
+// fail terminates the stream with err (delivered after buffered data).
+func (b *recvBuffer) fail(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil && !b.eof {
+		b.err = err
+	}
+	b.cond.Broadcast()
+}
+
+// close abandons the buffer from the consumer side.
+func (b *recvBuffer) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.data = nil
+	b.cond.Broadcast()
+}
+
+// Read implements io.Reader, blocking until data, EOF, or error.
+func (b *recvBuffer) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if len(b.data) > 0 {
+			n := copy(p, b.data)
+			b.data = b.data[n:]
+			return n, nil
+		}
+		if b.closed {
+			return 0, io.ErrClosedPipe
+		}
+		if b.err != nil {
+			return 0, b.err
+		}
+		if b.eof {
+			return 0, io.EOF
+		}
+		b.cond.Wait()
+	}
+}

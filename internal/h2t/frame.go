@@ -1,0 +1,205 @@
+// Package h2t implements the HTTP/2-style multiplexed tunnel that connects
+// Edge and Origin Proxygen (§2.2: "Edge and Origin maintain long-lived
+// HTTP/2 connections over which user requests and MQTT connections are
+// forwarded").
+//
+// It is a simplified HTTP/2: binary frames multiplex many logical streams
+// over one TCP connection, with HEADERS / DATA / RST_STREAM / GOAWAY /
+// PING frame types. GOAWAY gives the tunnel the graceful-shutdown
+// semantics (§3, Option-3) that Downstream Connection Reuse and Socket
+// Takeover lean on: a draining proxy announces GOAWAY, the peer stops
+// opening streams on the connection but in-flight streams run to
+// completion over the draining period.
+//
+// Three DCR control frames ride alongside (§4.2): RECONNECT_SOLICITATION
+// (restarting Origin → Edge, per tunneled MQTT stream), and the
+// CONNECT_ACK / CONNECT_REFUSE verdicts for a re_connect attempt.
+//
+// Deliberate simplifications vs. RFC 7540 (documented in DESIGN.md): no
+// HPACK (headers use a plain length-prefixed encoding), no flow-control
+// windows (streams buffer without bound; experiment workloads are small),
+// no priorities, no server push.
+package h2t
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FrameType identifies a frame.
+type FrameType uint8
+
+// Frame types.
+const (
+	FrameHeaders  FrameType = 0x1
+	FrameData     FrameType = 0x2
+	FrameRST      FrameType = 0x3
+	FrameGoAway   FrameType = 0x4
+	FramePing     FrameType = 0x5
+	FrameSettings FrameType = 0x6
+
+	// DCR control frames (§4.2).
+	FrameReconnectSolicitation FrameType = 0x10
+	FrameConnectAck            FrameType = 0x11
+	FrameConnectRefuse         FrameType = 0x12
+)
+
+// String returns a debug name.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHeaders:
+		return "HEADERS"
+	case FrameData:
+		return "DATA"
+	case FrameRST:
+		return "RST_STREAM"
+	case FrameGoAway:
+		return "GOAWAY"
+	case FramePing:
+		return "PING"
+	case FrameSettings:
+		return "SETTINGS"
+	case FrameReconnectSolicitation:
+		return "RECONNECT_SOLICITATION"
+	case FrameConnectAck:
+		return "CONNECT_ACK"
+	case FrameConnectRefuse:
+		return "CONNECT_REFUSE"
+	default:
+		return fmt.Sprintf("UNKNOWN(%#x)", uint8(t))
+	}
+}
+
+// Frame flags.
+const (
+	// FlagEndStream on HEADERS or DATA half-closes the sender's direction.
+	FlagEndStream uint8 = 0x1
+	// FlagAck marks a PING response.
+	FlagAck uint8 = 0x2
+)
+
+// maxFramePayload bounds a single frame. DATA larger than this is split.
+const maxFramePayload = 1 << 16
+
+// frameHeaderLen is the fixed wire header: type(1) flags(1) stream(4) len(4).
+const frameHeaderLen = 10
+
+// Frame is one wire frame.
+type Frame struct {
+	Type     FrameType
+	Flags    uint8
+	StreamID uint32
+	Payload  []byte
+}
+
+// ErrFrameTooLarge is returned for frames exceeding maxFramePayload.
+var ErrFrameTooLarge = errors.New("h2t: frame payload too large")
+
+// WriteFrame serializes f to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > maxFramePayload {
+		return ErrFrameTooLarge
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = uint8(f.Type)
+	hdr[1] = f.Flags
+	binary.BigEndian.PutUint32(hdr[2:6], f.StreamID)
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame parses one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	f := Frame{
+		Type:     FrameType(hdr[0]),
+		Flags:    hdr[1],
+		StreamID: binary.BigEndian.Uint32(hdr[2:6]),
+	}
+	n := binary.BigEndian.Uint32(hdr[6:10])
+	if n > maxFramePayload {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// EncodeHeaders serializes a header map: u16 count, then length-prefixed
+// key/value pairs. Header maps are small (a handful of routing fields).
+func EncodeHeaders(h map[string]string) ([]byte, error) {
+	if len(h) > 0xffff {
+		return nil, errors.New("h2t: too many headers")
+	}
+	size := 2
+	for k, v := range h {
+		if len(k) > 0xffff || len(v) > 0xffff {
+			return nil, errors.New("h2t: header field too long")
+		}
+		size += 4 + len(k) + len(v)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h)))
+	for k, v := range h {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf, nil
+}
+
+// DecodeHeaders parses EncodeHeaders output.
+func DecodeHeaders(b []byte) (map[string]string, error) {
+	if len(b) < 2 {
+		return nil, errors.New("h2t: short header block")
+	}
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	h := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k, rest, err := takeString(b)
+		if err != nil {
+			return nil, err
+		}
+		v, rest2, err := takeString(rest)
+		if err != nil {
+			return nil, err
+		}
+		h[k] = v
+		b = rest2
+	}
+	if len(b) != 0 {
+		return nil, errors.New("h2t: trailing bytes in header block")
+	}
+	return h, nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errors.New("h2t: truncated header block")
+	}
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, errors.New("h2t: truncated header string")
+	}
+	return string(b[:n]), b[n:], nil
+}

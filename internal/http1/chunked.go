@@ -1,0 +1,220 @@
+package http1
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+)
+
+// ChunkedWriter encodes a body stream with chunked transfer encoding. It
+// exposes its framing state so a proxy implementing Partial Post Replay
+// can report exactly where forwarding stopped (§5.2: "A proxy implementing
+// PPR must remember the exact state of forwarding the body ... whether it
+// is in the middle or at the beginning of a chunk").
+type ChunkedWriter struct {
+	w io.Writer
+	// bytesWritten counts decoded body bytes emitted so far.
+	bytesWritten int64
+	closed       bool
+}
+
+// NewChunkedWriter wraps w.
+func NewChunkedWriter(w io.Writer) *ChunkedWriter { return &ChunkedWriter{w: w} }
+
+// Write emits p as a single chunk (header + payload + CRLF).
+func (cw *ChunkedWriter) Write(p []byte) (int, error) {
+	if cw.closed {
+		return 0, errors.New("http1: write on closed chunked writer")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if _, err := fmt.Fprintf(cw.w, "%x\r\n", len(p)); err != nil {
+		return 0, err
+	}
+	if _, err := cw.w.Write(p); err != nil {
+		return 0, err
+	}
+	if _, err := io.WriteString(cw.w, "\r\n"); err != nil {
+		return 0, err
+	}
+	cw.bytesWritten += int64(len(p))
+	return len(p), nil
+}
+
+// BytesWritten returns the number of decoded body bytes emitted.
+func (cw *ChunkedWriter) BytesWritten() int64 { return cw.bytesWritten }
+
+// Close emits the terminal zero-length chunk.
+func (cw *ChunkedWriter) Close() error {
+	if cw.closed {
+		return nil
+	}
+	cw.closed = true
+	_, err := io.WriteString(cw.w, "0\r\n\r\n")
+	return err
+}
+
+// ChunkedReader decodes a chunked transfer encoding. Like ChunkedWriter it
+// exposes framing state: Offset reports decoded body bytes consumed, and
+// InChunk reports whether the reader stopped mid-chunk.
+type ChunkedReader struct {
+	br        *bufio.Reader
+	remaining int64  // bytes left in the current chunk payload
+	offset    int64  // total decoded bytes returned
+	lineBuf   []byte // partial framing line retained across timeouts
+	done      bool
+	err       error
+}
+
+// NewChunkedReader wraps br.
+func NewChunkedReader(br *bufio.Reader) *ChunkedReader { return &ChunkedReader{br: br} }
+
+// Offset returns the number of decoded body bytes returned so far.
+func (cr *ChunkedReader) Offset() int64 { return cr.offset }
+
+// InChunk reports whether the decoder is positioned in the middle of a
+// chunk payload.
+func (cr *ChunkedReader) InChunk() bool { return cr.remaining > 0 }
+
+// Done reports whether the terminal chunk has been consumed.
+func (cr *ChunkedReader) Done() bool { return cr.done }
+
+// readLineResumable reads a CRLF-terminated framing line, preserving any
+// partial line across timeout errors so a read interrupted by a deadline
+// (the PPR drain kick) can resume without corrupting the framing state.
+func (cr *ChunkedReader) readLineResumable() (string, error) {
+	for {
+		frag, err := cr.br.ReadString('\n')
+		cr.lineBuf = append(cr.lineBuf, frag...)
+		if err != nil {
+			return "", err
+		}
+		if len(cr.lineBuf) > 64<<10 {
+			return "", errors.New("http1: chunk framing line too long")
+		}
+		line := cr.lineBuf[:len(cr.lineBuf)-1] // strip \n
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		out := string(line)
+		cr.lineBuf = cr.lineBuf[:0]
+		return out, nil
+	}
+}
+
+func (cr *ChunkedReader) beginChunk() error {
+	line, err := cr.readLineResumable()
+	if err != nil {
+		return err
+	}
+	// Ignore chunk extensions.
+	if i := indexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	n, err := strconv.ParseInt(line, 16, 64)
+	if err != nil || n < 0 {
+		return fmt.Errorf("http1: malformed chunk header %q", line)
+	}
+	if n == 0 {
+		// Terminal chunk: consume the trailer (we support only the empty
+		// trailer — a bare CRLF).
+		tl, err := cr.readLineResumable()
+		if err != nil {
+			return err
+		}
+		if tl != "" {
+			return fmt.Errorf("http1: unsupported chunk trailer %q", tl)
+		}
+		cr.done = true
+		return io.EOF
+	}
+	cr.remaining = n
+	return nil
+}
+
+// isTimeout reports whether err is a resumable network timeout.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Read implements io.Reader over the decoded body. Network timeouts are
+// resumable: framing state (including partial chunk-header lines) is
+// preserved, so a caller using read deadlines as interruption points can
+// keep decoding afterwards. All other errors are terminal.
+func (cr *ChunkedReader) Read(p []byte) (int, error) {
+	if cr.err != nil {
+		return 0, cr.err
+	}
+	if cr.done {
+		return 0, io.EOF
+	}
+	if cr.remaining == 0 {
+		if err := cr.beginChunk(); err != nil {
+			if err == io.EOF && cr.done {
+				cr.err = err
+				return 0, err
+			}
+			if !isTimeout(err) {
+				cr.err = err
+			}
+			return 0, err
+		}
+	}
+	if int64(len(p)) > cr.remaining {
+		p = p[:cr.remaining]
+	}
+	n, err := cr.br.Read(p)
+	cr.remaining -= int64(n)
+	cr.offset += int64(n)
+	if err != nil {
+		if !isTimeout(err) {
+			cr.err = err
+		}
+		return n, err
+	}
+	if cr.remaining == 0 {
+		// Consume the chunk-terminating CRLF.
+		if line, err := cr.readLineResumable(); err != nil {
+			if !isTimeout(err) {
+				cr.err = err
+			}
+			return n, err
+		} else if line != "" {
+			cr.err = fmt.Errorf("http1: chunk not terminated by CRLF, got %q", line)
+			return n, cr.err
+		}
+	}
+	return n, nil
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// readLine reads a CRLF- (or bare-LF-) terminated line, without the
+// terminator. Lines are bounded to 64 KiB to fence off malformed peers.
+func readLine(br *bufio.Reader) (string, error) {
+	const maxLine = 64 << 10
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLine {
+		return "", errors.New("http1: header line too long")
+	}
+	line = line[:len(line)-1] // strip \n
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, nil
+}

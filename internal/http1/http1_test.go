@@ -1,0 +1,413 @@
+package http1
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalKey(t *testing.T) {
+	cases := map[string]string{
+		"content-length":    "Content-Length",
+		"CONTENT-LENGTH":    "Content-Length",
+		"x-fb-debug":        "X-Fb-Debug",
+		"a":                 "A",
+		"":                  "",
+		"Already-Canonical": "Already-Canonical",
+	}
+	for in, want := range cases {
+		if got := CanonicalKey(in); got != want {
+			t.Errorf("CanonicalKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHeaderOps(t *testing.T) {
+	h := Header{}
+	h.Set("x-one", "1")
+	h.Add("X-ONE", "2")
+	if got := h["X-One"]; len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Fatalf("values = %v", got)
+	}
+	if h.Get("x-ONE") != "1" {
+		t.Fatal("Get not case-insensitive")
+	}
+	if !h.Has("X-One") {
+		t.Fatal("Has failed")
+	}
+	cp := h.Clone()
+	cp.Add("X-One", "3")
+	if len(h["X-One"]) != 2 {
+		t.Fatal("Clone aliases storage")
+	}
+	h.Del("x-one")
+	if h.Has("X-One") {
+		t.Fatal("Del failed")
+	}
+}
+
+func TestPseudoHeaderEcho(t *testing.T) {
+	if got := EchoPseudoHeader(":path"); got != "Pseudo-Echo-Path" {
+		t.Fatalf("echo = %q", got)
+	}
+	name, ok := UnechoPseudoHeader("pseudo-echo-path")
+	if !ok || name != ":path" {
+		t.Fatalf("unecho = %q %v", name, ok)
+	}
+	if _, ok := UnechoPseudoHeader("Content-Length"); ok {
+		t.Fatal("unecho accepted a normal header")
+	}
+}
+
+func TestRequestRoundTripContentLength(t *testing.T) {
+	body := "hello world"
+	req := NewRequest("POST", "/upload", strings.NewReader(body), int64(len(body)))
+	req.Header.Set("Host", "example.com")
+	var buf bytes.Buffer
+	n, err := WriteRequest(&buf, req)
+	if err != nil || n != int64(len(body)) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "POST" || got.Target != "/upload" || got.Proto != "HTTP/1.1" {
+		t.Fatalf("head = %+v", got)
+	}
+	if got.Header.Get("Host") != "example.com" {
+		t.Fatal("host header lost")
+	}
+	if got.ContentLength != int64(len(body)) {
+		t.Fatalf("content length = %d", got.ContentLength)
+	}
+	b, _ := ReadFullBody(got.Body)
+	if string(b) != body {
+		t.Fatalf("body = %q", b)
+	}
+}
+
+func TestRequestRoundTripChunked(t *testing.T) {
+	body := strings.Repeat("chunky!", 1000)
+	req := NewRequest("POST", "/up", strings.NewReader(body), -1)
+	var buf bytes.Buffer
+	if _, err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Transfer-Encoding: chunked") {
+		t.Fatal("chunked framing header missing")
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ContentLength != -1 {
+		t.Fatalf("content length = %d, want -1 (chunked)", got.ContentLength)
+	}
+	b, _ := ReadFullBody(got.Body)
+	if string(b) != body {
+		t.Fatalf("chunked body mismatch: %d vs %d bytes", len(b), len(body))
+	}
+}
+
+func TestRequestNoBody(t *testing.T) {
+	req := NewRequest("GET", "/", nil, 0)
+	var buf bytes.Buffer
+	if _, err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Body != nil {
+		t.Fatal("GET should have nil body")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	body := "response payload"
+	resp := NewResponse(200, strings.NewReader(body), int64(len(body)))
+	resp.Header.Set("X-Served-By", "proxy-1")
+	var buf bytes.Buffer
+	if _, err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 200 || got.StatusMessage != "OK" {
+		t.Fatalf("status = %d %q", got.StatusCode, got.StatusMessage)
+	}
+	b, _ := ReadFullBody(got.Body)
+	if string(b) != body {
+		t.Fatalf("body = %q", b)
+	}
+}
+
+func TestResponse379RoundTrip(t *testing.T) {
+	partial := "partially-uploaded-data"
+	resp := NewResponse(StatusPartialPostReplay, strings.NewReader(partial), int64(len(partial)))
+	resp.Header.Set(EchoPseudoHeader(":path"), "/upload")
+	var buf bytes.Buffer
+	if _, err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "HTTP/1.1 379 PartialPOST\r\n") {
+		t.Fatalf("status line = %q", strings.SplitN(buf.String(), "\r\n", 2)[0])
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPartialPostReplay(got) {
+		t.Fatal("379+PartialPOST not recognised")
+	}
+	if got.Header.Get("Pseudo-Echo-Path") != "/upload" {
+		t.Fatal("pseudo echo header lost")
+	}
+}
+
+func TestIsPartialPostReplayRequiresMessage(t *testing.T) {
+	// §5.2: a buggy upstream returning a bare 379 must NOT trigger PPR.
+	r := &Response{StatusCode: 379, StatusMessage: "Random Garbage"}
+	if IsPartialPostReplay(r) {
+		t.Fatal("379 with wrong status message must not trigger PPR")
+	}
+	r.StatusMessage = StatusMessagePartialPost
+	if !IsPartialPostReplay(r) {
+		t.Fatal("genuine PPR response not recognised")
+	}
+}
+
+func TestResponseNoBodyCodes(t *testing.T) {
+	var buf bytes.Buffer
+	resp := NewResponse(204, nil, 0)
+	if _, err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Body != nil {
+		t.Fatal("204 must have no body")
+	}
+}
+
+func TestMalformedRequestLine(t *testing.T) {
+	for _, in := range []string{
+		"GARBAGE\r\n\r\n",
+		"GET /\r\n\r\n",
+		"GET / SPDY/3\r\n\r\n",
+	} {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(in))); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestMalformedResponseLine(t *testing.T) {
+	for _, in := range []string{
+		"HTTP/1.1 xx OK\r\n\r\n",
+		"HTTP/1.1\r\n\r\n",
+		"ICY 200 OK\r\n\r\n",
+		"HTTP/1.1 99 Too Small\r\n\r\n",
+	} {
+		if _, err := ReadResponse(bufio.NewReader(strings.NewReader(in))); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestMalformedHeader(t *testing.T) {
+	in := "GET / HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n"
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(in))); err == nil {
+		t.Fatal("accepted header without colon")
+	}
+}
+
+func TestBadContentLength(t *testing.T) {
+	in := "POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(in))); err == nil {
+		t.Fatal("accepted negative content-length")
+	}
+}
+
+func TestChunkedWriterFraming(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChunkedWriter(&buf)
+	cw.Write([]byte("abc"))
+	cw.Write(nil) // zero-length writes are elided, not terminal chunks
+	cw.Write([]byte("defgh"))
+	if cw.BytesWritten() != 8 {
+		t.Fatalf("bytes written = %d", cw.BytesWritten())
+	}
+	cw.Close()
+	want := "3\r\nabc\r\n5\r\ndefgh\r\n0\r\n\r\n"
+	if buf.String() != want {
+		t.Fatalf("framing = %q, want %q", buf.String(), want)
+	}
+	if _, err := cw.Write([]byte("x")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+}
+
+func TestChunkedReaderState(t *testing.T) {
+	// One 10-byte chunk; read 4 bytes and examine mid-chunk state — the
+	// state PPR must track (§5.2).
+	raw := "a\r\n0123456789\r\n0\r\n\r\n"
+	cr := NewChunkedReader(bufio.NewReader(strings.NewReader(raw)))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(cr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Offset() != 4 || !cr.InChunk() || cr.Done() {
+		t.Fatalf("mid-chunk state: offset=%d inChunk=%v done=%v", cr.Offset(), cr.InChunk(), cr.Done())
+	}
+	rest, err := io.ReadAll(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rest) != "456789" {
+		t.Fatalf("rest = %q", rest)
+	}
+	if !cr.Done() || cr.InChunk() || cr.Offset() != 10 {
+		t.Fatalf("final state: offset=%d inChunk=%v done=%v", cr.Offset(), cr.InChunk(), cr.Done())
+	}
+}
+
+func TestChunkedReaderExtensionsIgnored(t *testing.T) {
+	raw := "5;ext=1\r\nhello\r\n0\r\n\r\n"
+	cr := NewChunkedReader(bufio.NewReader(strings.NewReader(raw)))
+	b, err := io.ReadAll(cr)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("b=%q err=%v", b, err)
+	}
+}
+
+func TestChunkedReaderMalformed(t *testing.T) {
+	for _, raw := range []string{
+		"zz\r\nhello\r\n",          // bad size
+		"5\r\nhelloXX0\r\n\r\n",    // missing chunk CRLF
+		"-5\r\nhello\r\n0\r\n\r\n", // negative
+	} {
+		cr := NewChunkedReader(bufio.NewReader(strings.NewReader(raw)))
+		if _, err := io.ReadAll(cr); err == nil {
+			t.Errorf("accepted %q", raw)
+		}
+	}
+}
+
+// Property: chunked encode→decode is the identity for arbitrary bodies and
+// arbitrary write segmentation.
+func TestChunkedRoundTripProperty(t *testing.T) {
+	f := func(body []byte, seg uint8) bool {
+		var buf bytes.Buffer
+		cw := NewChunkedWriter(&buf)
+		step := int(seg%32) + 1
+		for off := 0; off < len(body); off += step {
+			end := off + step
+			if end > len(body) {
+				end = len(body)
+			}
+			if _, err := cw.Write(body[off:end]); err != nil {
+				return false
+			}
+		}
+		if err := cw.Close(); err != nil {
+			return false
+		}
+		cr := NewChunkedReader(bufio.NewReader(&buf))
+		got, err := io.ReadAll(cr)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: request round-trip preserves method, target and body for
+// token-ish methods/targets.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(body []byte, chunked bool) bool {
+		cl := int64(len(body))
+		if chunked {
+			cl = -1
+		}
+		var rd io.Reader
+		if len(body) > 0 {
+			rd = bytes.NewReader(body)
+		}
+		req := NewRequest("POST", "/p", rd, cl)
+		var buf bytes.Buffer
+		if _, err := WriteRequest(&buf, req); err != nil {
+			return false
+		}
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		b, err := ReadFullBody(got.Body)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(b, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelinedMessages(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		req := NewRequest("POST", "/n", strings.NewReader("abc"), 3)
+		if _, err := WriteRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for i := 0; i < 3; i++ {
+		req, err := ReadRequest(br)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		b, _ := ReadFullBody(req.Body)
+		if string(b) != "abc" {
+			t.Fatalf("message %d body = %q", i, b)
+		}
+	}
+}
+
+func BenchmarkWriteRequestContentLength(b *testing.B) {
+	body := bytes.Repeat([]byte("x"), 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := NewRequest("POST", "/upload", bytes.NewReader(body), int64(len(body)))
+		WriteRequest(io.Discard, req)
+	}
+}
+
+func BenchmarkChunkedRoundTrip(b *testing.B) {
+	body := bytes.Repeat([]byte("y"), 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		cw := NewChunkedWriter(&buf)
+		cw.Write(body)
+		cw.Close()
+		cr := NewChunkedReader(bufio.NewReader(&buf))
+		io.Copy(io.Discard, cr)
+	}
+}

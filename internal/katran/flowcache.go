@@ -1,0 +1,73 @@
+package katran
+
+import "container/list"
+
+// FlowCache is the §5.1 remediation: "we recommend adopting a connection
+// table cache for the most recent flows. In Facebook we employ a Least
+// Recently Used (LRU) cache in the Katran (L4LB layer) to absorb such
+// momentary shuffles and facilitate connections to be routed consistently
+// to the same end server."
+//
+// It maps flow hashes to backend names with LRU eviction. Not safe for
+// concurrent use; the LB serializes access under its own lock.
+type FlowCache struct {
+	capacity int
+	order    *list.List // front = most recent; values are *flowEntry
+	index    map[uint64]*list.Element
+}
+
+type flowEntry struct {
+	flow    uint64
+	backend string
+}
+
+// NewFlowCache creates a cache holding up to capacity flows.
+func NewFlowCache(capacity int) *FlowCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &FlowCache{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[uint64]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached backend for flow, marking it most recently used.
+func (c *FlowCache) Get(flow uint64) (string, bool) {
+	el, ok := c.index[flow]
+	if !ok {
+		return "", false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*flowEntry).backend, true
+}
+
+// Put records flow → backend, evicting the least recently used entry if
+// the cache is full.
+func (c *FlowCache) Put(flow uint64, backend string) {
+	if el, ok := c.index[flow]; ok {
+		el.Value.(*flowEntry).backend = backend
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.index, oldest.Value.(*flowEntry).flow)
+		}
+	}
+	c.index[flow] = c.order.PushFront(&flowEntry{flow: flow, backend: backend})
+}
+
+// Delete removes flow from the cache.
+func (c *FlowCache) Delete(flow uint64) {
+	if el, ok := c.index[flow]; ok {
+		c.order.Remove(el)
+		delete(c.index, flow)
+	}
+}
+
+// Len returns the number of cached flows.
+func (c *FlowCache) Len() int { return c.order.Len() }

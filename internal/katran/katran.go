@@ -1,0 +1,321 @@
+// Package katran is a user-space model of Facebook's Katran L4 load
+// balancer (§2.1): the layer that sits between the routers (ECMP) and the
+// L7 proxies, steering each flow to an L7LB with consistent hashing and
+// continuously health-checking the proxy fleet.
+//
+// What matters to Zero Downtime Release is Katran's *behaviour*, not its
+// XDP datapath, so this package implements:
+//
+//   - a Maglev consistent-hash table over the healthy backends,
+//   - an active health-check prober ("each restarting instance enters a
+//     draining mode ... by failing health-checks from Katran to remove the
+//     instance from the routing ring", §2.3) with consecutive-success/
+//     -failure thresholds,
+//   - the §5.1 remediation: an LRU connection-table cache of recent flows
+//     that absorbs momentary shuffles in the routing topology so
+//     established connections keep landing on the same L7LB even when a
+//     health flap briefly changes the Maglev table.
+//
+// Steering is exposed as a function from flow hash to backend address;
+// integration tests and the cluster simulator drive their connection
+// placement through it.
+package katran
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"zdr/internal/consistent"
+	"zdr/internal/metrics"
+)
+
+// Backend is one L7 proxy instance behind a VIP.
+type Backend struct {
+	// Name uniquely identifies the instance (e.g. "edge-proxy-03").
+	Name string
+	// Addr is the instance's serving address.
+	Addr string
+	// HealthAddr is probed; empty means probe Addr.
+	HealthAddr string
+}
+
+type backendState struct {
+	Backend
+	healthy    bool
+	consecOK   int
+	consecFail int
+}
+
+// ProbeFunc checks one backend; nil error means healthy.
+type ProbeFunc func(addr string, timeout time.Duration) error
+
+// Config tunes the LB.
+type Config struct {
+	// HealthyAfter is the consecutive probe successes needed to admit a
+	// backend (default 1).
+	HealthyAfter int
+	// UnhealthyAfter is the consecutive failures needed to evict (default 1).
+	UnhealthyAfter int
+	// ProbeTimeout bounds one probe (default 500ms).
+	ProbeTimeout time.Duration
+	// FlowCacheSize enables the §5.1 LRU connection-table cache when > 0.
+	FlowCacheSize int
+	// MaglevSize overrides the lookup table size (0 = default).
+	MaglevSize int
+	// Probe overrides the prober (default ProbeHC).
+	Probe ProbeFunc
+}
+
+func (c *Config) fill() {
+	if c.HealthyAfter <= 0 {
+		c.HealthyAfter = 1
+	}
+	if c.UnhealthyAfter <= 0 {
+		c.UnhealthyAfter = 1
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.Probe == nil {
+		c.Probe = ProbeHC
+	}
+}
+
+// LB is one Katran instance steering a single VIP.
+type LB struct {
+	name string
+	cfg  Config
+	reg  *metrics.Registry
+
+	mu       sync.Mutex
+	backends map[string]*backendState
+	maglev   *consistent.Maglev
+	cache    *FlowCache
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New creates an LB. reg may be nil.
+func New(name string, cfg Config, reg *metrics.Registry) *LB {
+	cfg.fill()
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	lb := &LB{
+		name:     name,
+		cfg:      cfg,
+		reg:      reg,
+		backends: make(map[string]*backendState),
+		maglev:   consistent.NewMaglev(cfg.MaglevSize),
+		stop:     make(chan struct{}),
+	}
+	if cfg.FlowCacheSize > 0 {
+		lb.cache = NewFlowCache(cfg.FlowCacheSize)
+	}
+	return lb
+}
+
+// Metrics returns the LB's registry.
+func (lb *LB) Metrics() *metrics.Registry { return lb.reg }
+
+// AddBackend registers a backend. New backends start unhealthy until a
+// probe (or SetHealth) admits them, unless healthyNow is true.
+func (lb *LB) AddBackend(b Backend, healthyNow bool) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.backends[b.Name] = &backendState{Backend: b, healthy: healthyNow}
+	lb.rebuildLocked()
+}
+
+// RemoveBackend deletes a backend entirely.
+func (lb *LB) RemoveBackend(name string) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	delete(lb.backends, name)
+	lb.rebuildLocked()
+}
+
+// SetHealth overrides a backend's health (used by tests and by the
+// simulator's modeled probes).
+func (lb *LB) SetHealth(name string, healthy bool) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	bs, ok := lb.backends[name]
+	if !ok || bs.healthy == healthy {
+		return
+	}
+	bs.healthy = healthy
+	lb.transitionLocked(bs)
+}
+
+func (lb *LB) transitionLocked(bs *backendState) {
+	if bs.healthy {
+		lb.reg.Counter("katran.health.up").Inc()
+	} else {
+		lb.reg.Counter("katran.health.down").Inc()
+	}
+	lb.rebuildLocked()
+}
+
+func (lb *LB) rebuildLocked() {
+	healthy := make([]string, 0, len(lb.backends))
+	for _, bs := range lb.backends {
+		if bs.healthy {
+			healthy = append(healthy, bs.Name)
+		}
+	}
+	sort.Strings(healthy)
+	lb.maglev.Rebuild(healthy)
+	lb.reg.Counter("katran.table.rebuilds").Inc()
+	lb.reg.Gauge("katran.backends.healthy").Set(int64(len(healthy)))
+}
+
+// HealthyBackends returns the names of healthy backends, sorted.
+func (lb *LB) HealthyBackends() []string {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.maglev.Members()
+}
+
+// ErrNoBackends is returned by Steer when every backend is out.
+var ErrNoBackends = errors.New("katran: no healthy backends")
+
+// Steer picks the backend for a flow hash: the LRU connection table first
+// (if enabled and the cached backend is still healthy), then Maglev. The
+// result is cached so the flow sticks.
+func (lb *LB) Steer(flow uint64) (Backend, error) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if lb.cache != nil {
+		if name, ok := lb.cache.Get(flow); ok {
+			if bs, live := lb.backends[name]; live && bs.healthy {
+				lb.reg.Counter("katran.steer.cache_hit").Inc()
+				return bs.Backend, nil
+			}
+			// Cached backend gone: fall through to a fresh pick.
+			lb.cache.Delete(flow)
+		}
+	}
+	name := lb.maglev.PickUint(flow)
+	if name == "" {
+		return Backend{}, ErrNoBackends
+	}
+	lb.reg.Counter("katran.steer.table_pick").Inc()
+	if lb.cache != nil {
+		lb.cache.Put(flow, name)
+	}
+	return lb.backends[name].Backend, nil
+}
+
+// SteerAddr is Steer returning just the address.
+func (lb *LB) SteerAddr(flow uint64) (string, error) {
+	b, err := lb.Steer(flow)
+	return b.Addr, err
+}
+
+// StartHealthChecks probes all backends every interval until Close.
+func (lb *LB) StartHealthChecks(interval time.Duration) {
+	lb.wg.Add(1)
+	go func() {
+		defer lb.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			lb.ProbeOnce()
+			select {
+			case <-ticker.C:
+			case <-lb.stop:
+				return
+			}
+		}
+	}()
+}
+
+// ProbeOnce probes every backend once, applying the thresholds.
+func (lb *LB) ProbeOnce() {
+	lb.mu.Lock()
+	targets := make([]*backendState, 0, len(lb.backends))
+	for _, bs := range lb.backends {
+		targets = append(targets, bs)
+	}
+	probe := lb.cfg.Probe
+	timeout := lb.cfg.ProbeTimeout
+	lb.mu.Unlock()
+
+	type result struct {
+		bs *backendState
+		ok bool
+	}
+	results := make([]result, len(targets))
+	var wg sync.WaitGroup
+	for i, bs := range targets {
+		wg.Add(1)
+		go func(i int, bs *backendState) {
+			defer wg.Done()
+			addr := bs.HealthAddr
+			if addr == "" {
+				addr = bs.Addr
+			}
+			results[i] = result{bs: bs, ok: probe(addr, timeout) == nil}
+		}(i, bs)
+	}
+	wg.Wait()
+
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	for _, r := range results {
+		lb.reg.Counter("katran.probes").Inc()
+		if r.ok {
+			r.bs.consecOK++
+			r.bs.consecFail = 0
+			if !r.bs.healthy && r.bs.consecOK >= lb.cfg.HealthyAfter {
+				r.bs.healthy = true
+				lb.transitionLocked(r.bs)
+			}
+		} else {
+			r.bs.consecFail++
+			r.bs.consecOK = 0
+			if r.bs.healthy && r.bs.consecFail >= lb.cfg.UnhealthyAfter {
+				r.bs.healthy = false
+				lb.transitionLocked(r.bs)
+			}
+		}
+	}
+}
+
+// Close stops health checking.
+func (lb *LB) Close() {
+	lb.once.Do(func() { close(lb.stop) })
+	lb.wg.Wait()
+}
+
+// ProbeHC is the default prober: it speaks the one-line health-check
+// protocol ("HC\n" → "OK\n") that the Proxygen health listener implements.
+// A draining instance answers "DRAIN", which counts as unhealthy — the
+// §2.3 mechanism for removing an instance from the routing ring.
+func ProbeHC(addr string, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte("HC\n")); err != nil {
+		return err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if line != "OK\n" {
+		return fmt.Errorf("katran: unhealthy answer %q", line)
+	}
+	return nil
+}

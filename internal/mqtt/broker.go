@@ -1,0 +1,312 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"zdr/internal/metrics"
+)
+
+// Broker is an MQTT pub/sub back-end (§2.1 "special-purpose servers, e.g.
+// Publish/Subscribe brokers"). Sessions are keyed by the client identifier,
+// which in the paper's architecture is the globally unique user-id used to
+// route re_connect attempts (§4.2).
+//
+// Connection-context semantics implement the DCR server side:
+//
+//   - CONNECT with CleanSession=true creates (or replaces) a session: the
+//     normal path for a user's first connection.
+//   - CONNECT with CleanSession=false is a resume — the wire form of
+//     re_connect. If the broker holds connection context for the
+//     client ID it accepts (CONNACK SessionPresent=true, the paper's
+//     connect_ack) and atomically splices delivery onto the new transport;
+//     otherwise it refuses (CONNACK return code ≠ 0, the paper's
+//     connect_refuse) and the edge falls back to a normal client
+//     re-connect.
+type Broker struct {
+	name string
+	reg  *metrics.Registry
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// session is per-user connection context.
+type session struct {
+	id string
+
+	mu   sync.Mutex
+	conn net.Conn // nil while detached
+	subs []string
+	gen  uint64 // bumped on each transport splice
+}
+
+// NewBroker creates a broker. reg may be nil.
+func NewBroker(name string, reg *metrics.Registry) *Broker {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Broker{name: name, reg: reg, sessions: make(map[string]*session)}
+}
+
+// Metrics returns the broker's registry.
+func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// ErrBrokerClosed is returned by Serve after Close.
+var ErrBrokerClosed = errors.New("mqtt: broker closed")
+
+// Serve accepts connections from ln until it is closed.
+func (b *Broker) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn handles one transport connection: a direct client or a relay
+// carrying one tunneled user. It returns when the transport dies; session
+// context is retained for a future resume.
+func (b *Broker) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	p, err := Decode(conn)
+	if err != nil {
+		return fmt.Errorf("mqtt: reading CONNECT: %w", err)
+	}
+	if p.Type != CONNECT {
+		return fmt.Errorf("mqtt: first packet was %v, want CONNECT", p.Type)
+	}
+	if p.ClientID == "" {
+		Encode(conn, &Packet{Type: CONNACK, ReturnCode: ConnRefusedIDRejected})
+		return errors.New("mqtt: empty client id")
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBrokerClosed
+	}
+	sess, exists := b.sessions[p.ClientID]
+	if p.CleanSession {
+		// Fresh context (replaces any stale one).
+		sess = &session{id: p.ClientID}
+		b.sessions[p.ClientID] = sess
+		exists = false
+	} else if !exists {
+		// Resume with no context: refuse (DCR connect_refuse).
+		b.mu.Unlock()
+		b.reg.Counter("mqtt.connect.refused").Inc()
+		return Encode(conn, &Packet{Type: CONNACK, ReturnCode: ConnRefusedIDRejected})
+	}
+	b.mu.Unlock()
+
+	// Splice the transport into the session.
+	sess.mu.Lock()
+	if old := sess.conn; old != nil && old != conn {
+		old.Close()
+	}
+	sess.conn = conn
+	sess.gen++
+	gen := sess.gen
+	sess.mu.Unlock()
+
+	b.reg.Counter("mqtt.connack.sent").Inc()
+	if exists {
+		b.reg.Counter("mqtt.connect.resumed").Inc()
+	} else {
+		b.reg.Counter("mqtt.connect.new").Inc()
+	}
+	if err := Encode(conn, &Packet{Type: CONNACK, SessionPresent: exists, ReturnCode: ConnAccepted}); err != nil {
+		return err
+	}
+
+	keepAlive := time.Duration(p.KeepAlive) * time.Second
+	for {
+		if keepAlive > 0 {
+			conn.SetReadDeadline(time.Now().Add(keepAlive + keepAlive/2))
+		}
+		pkt, err := Decode(conn)
+		if err != nil {
+			b.detach(sess, conn, gen)
+			return err
+		}
+		switch pkt.Type {
+		case PUBLISH:
+			b.reg.Counter("mqtt.publish.received").Inc()
+			b.Publish(pkt.Topic, pkt.Payload)
+			if pkt.QoS == 1 {
+				if err := b.send(sess, &Packet{Type: PUBACK, PacketID: pkt.PacketID}); err != nil {
+					b.detach(sess, conn, gen)
+					return err
+				}
+			}
+		case SUBSCRIBE:
+			sess.mu.Lock()
+			for _, f := range pkt.TopicFilters {
+				if !contains(sess.subs, f) {
+					sess.subs = append(sess.subs, f)
+				}
+			}
+			sess.mu.Unlock()
+			granted := make([]uint8, len(pkt.TopicFilters))
+			if err := b.send(sess, &Packet{Type: SUBACK, PacketID: pkt.PacketID, GrantedQoS: granted}); err != nil {
+				b.detach(sess, conn, gen)
+				return err
+			}
+		case PINGREQ:
+			if err := b.send(sess, &Packet{Type: PINGRESP}); err != nil {
+				b.detach(sess, conn, gen)
+				return err
+			}
+		case DISCONNECT:
+			// Graceful disconnect retains context (the transport may be a
+			// relay that is being restarted; the user is still out there).
+			b.detach(sess, conn, gen)
+			return nil
+		default:
+			b.detach(sess, conn, gen)
+			return fmt.Errorf("mqtt: unexpected packet %v", pkt.Type)
+		}
+	}
+}
+
+// detach clears the session transport if it is still the one this handler
+// owns (a resume may already have replaced it).
+func (b *Broker) detach(sess *session, conn net.Conn, gen uint64) {
+	sess.mu.Lock()
+	if sess.gen == gen && sess.conn == conn {
+		sess.conn = nil
+	}
+	sess.mu.Unlock()
+}
+
+// send writes a packet to the session's current transport.
+func (b *Broker) send(sess *session, p *Packet) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.conn == nil {
+		return fmt.Errorf("mqtt: session %s detached", sess.id)
+	}
+	return Encode(sess.conn, p)
+}
+
+// Publish delivers payload on topic to every attached session with a
+// matching subscription, returning the delivery count. It is both the
+// client-publish fan-out and the API for server-initiated notifications
+// (the "live notifications" workload of §4.2).
+func (b *Broker) Publish(topic string, payload []byte) int {
+	b.mu.Lock()
+	targets := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		targets = append(targets, s)
+	}
+	b.mu.Unlock()
+
+	delivered := 0
+	for _, s := range targets {
+		s.mu.Lock()
+		match := false
+		for _, f := range s.subs {
+			if TopicMatches(f, topic) {
+				match = true
+				break
+			}
+		}
+		if match && s.conn != nil {
+			if err := Encode(s.conn, &Packet{Type: PUBLISH, Topic: topic, Payload: payload}); err == nil {
+				delivered++
+			}
+		}
+		s.mu.Unlock()
+	}
+	b.reg.Counter("mqtt.publish.delivered").Add(int64(delivered))
+	return delivered
+}
+
+// HasSession reports whether connection context exists for clientID.
+func (b *Broker) HasSession(clientID string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.sessions[clientID]
+	return ok
+}
+
+// SessionAttached reports whether clientID currently has a live transport.
+func (b *Broker) SessionAttached(clientID string) bool {
+	b.mu.Lock()
+	s, ok := b.sessions[clientID]
+	b.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn != nil
+}
+
+// SessionCount returns the number of sessions with context.
+func (b *Broker) SessionCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.sessions)
+}
+
+// DropSession discards connection context (used by failure-injection
+// tests to force the connect_refuse path).
+func (b *Broker) DropSession(clientID string) {
+	b.mu.Lock()
+	s, ok := b.sessions[clientID]
+	delete(b.sessions, clientID)
+	b.mu.Unlock()
+	if ok {
+		s.mu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+			s.conn = nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Close drops all sessions and waits for handlers to finish. Listeners
+// passed to Serve must be closed by the caller.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	b.closed = true
+	sessions := b.sessions
+	b.sessions = map[string]*session{}
+	b.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+			s.conn = nil
+		}
+		s.mu.Unlock()
+	}
+	b.wg.Wait()
+}
+
+func contains(ss []string, s string) bool {
+	for _, have := range ss {
+		if have == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+package mqtt_test
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"zdr/internal/mqtt"
+)
+
+// Example runs a broker, connects a client, and delivers a notification —
+// then resumes the session over a new transport (the DCR splice) without
+// re-subscribing.
+func Example() {
+	broker := mqtt.NewBroker("b", nil)
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go broker.Serve(ln)
+	defer broker.Close()
+
+	conn, _ := net.Dial("tcp", ln.Addr().String())
+	c := mqtt.NewClient(conn, "user-1", true)
+	if _, err := c.Connect(0, 2*time.Second); err != nil {
+		panic(err)
+	}
+	if err := c.Subscribe(2*time.Second, "notif/user-1"); err != nil {
+		panic(err)
+	}
+	broker.Publish("notif/user-1", []byte("hello"))
+	m := <-c.Messages()
+	fmt.Printf("got %q\n", m.Payload)
+
+	// Transport dies; context survives; resume splices.
+	conn.Close()
+	conn2, _ := net.Dial("tcp", ln.Addr().String())
+	c2 := mqtt.NewClient(conn2, "user-1", false) // CleanSession=false = re_connect
+	ack, err := c2.Connect(0, 2*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("session present:", ack.SessionPresent)
+	broker.Publish("notif/user-1", []byte("still here"))
+	m = <-c2.Messages()
+	fmt.Printf("got %q without re-subscribing\n", m.Payload)
+	c2.Disconnect()
+	// Output:
+	// got "hello"
+	// session present: true
+	// got "still here" without re-subscribing
+}
+
+// ExampleTopicMatches demonstrates the MQTT wildcard rules.
+func ExampleTopicMatches() {
+	fmt.Println(mqtt.TopicMatches("notif/+", "notif/user-7"))
+	fmt.Println(mqtt.TopicMatches("notif/#", "notif/user-7/badges"))
+	fmt.Println(mqtt.TopicMatches("notif/+", "chat/user-7"))
+	// Output:
+	// true
+	// true
+	// false
+}

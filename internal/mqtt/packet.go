@@ -1,0 +1,374 @@
+// Package mqtt implements the subset of MQTT 3.1.1 the paper's
+// publish/subscribe tier needs (§2.1, §4.2): CONNECT/CONNACK,
+// PUBLISH/PUBACK (QoS 0 and 1), SUBSCRIBE/SUBACK, PINGREQ/PINGRESP and
+// DISCONNECT, plus a broker that keeps per-user connection context and a
+// client state machine.
+//
+// MQTT is the protocol the paper singles out as having no built-in
+// disruption-avoidance: "MQTT does not have a built-in disruption
+// avoidance support in case of Proxygen restarts and relies on client
+// re-connects" — which is exactly why Downstream Connection Reuse exists.
+// The broker here therefore implements the §4.2 server side: sessions are
+// keyed by a globally unique user-id, the broker retains connection
+// context, and a relay hand-over (re_connect) is accepted if and only if
+// context for that user exists.
+package mqtt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// PacketType is the MQTT control packet type (high nibble of byte 1).
+type PacketType uint8
+
+// MQTT 3.1.1 packet types (the supported subset).
+const (
+	CONNECT    PacketType = 1
+	CONNACK    PacketType = 2
+	PUBLISH    PacketType = 3
+	PUBACK     PacketType = 4
+	SUBSCRIBE  PacketType = 8
+	SUBACK     PacketType = 9
+	PINGREQ    PacketType = 12
+	PINGRESP   PacketType = 13
+	DISCONNECT PacketType = 14
+)
+
+// String returns the packet type name.
+func (t PacketType) String() string {
+	switch t {
+	case CONNECT:
+		return "CONNECT"
+	case CONNACK:
+		return "CONNACK"
+	case PUBLISH:
+		return "PUBLISH"
+	case PUBACK:
+		return "PUBACK"
+	case SUBSCRIBE:
+		return "SUBSCRIBE"
+	case SUBACK:
+		return "SUBACK"
+	case PINGREQ:
+		return "PINGREQ"
+	case PINGRESP:
+		return "PINGRESP"
+	case DISCONNECT:
+		return "DISCONNECT"
+	default:
+		return fmt.Sprintf("UNKNOWN(%d)", uint8(t))
+	}
+}
+
+// CONNACK return codes.
+const (
+	ConnAccepted          uint8 = 0
+	ConnRefusedIDRejected uint8 = 2
+	ConnRefusedUnavail    uint8 = 3
+)
+
+// Packet is a decoded MQTT control packet. Only fields relevant to the
+// packet's type are populated.
+type Packet struct {
+	Type PacketType
+
+	// CONNECT
+	ClientID  string
+	KeepAlive uint16 // seconds
+	// CleanSession, when false, asks the broker to resume existing
+	// session state — the property DCR relies on.
+	CleanSession bool
+
+	// CONNACK
+	SessionPresent bool
+	ReturnCode     uint8
+
+	// PUBLISH / PUBACK / SUBSCRIBE / SUBACK
+	Topic    string
+	Payload  []byte
+	QoS      uint8
+	PacketID uint16
+	// SUBSCRIBE
+	TopicFilters []string
+	// SUBACK
+	GrantedQoS []uint8
+}
+
+const protocolName = "MQTT"
+const protocolLevel = 4 // MQTT 3.1.1
+
+// maxRemainingLength bounds packet size (1 MiB; the spec allows 256 MiB).
+const maxRemainingLength = 1 << 20
+
+var errMalformed = errors.New("mqtt: malformed packet")
+
+// writeRemainingLength emits the MQTT variable-length encoding.
+func writeRemainingLength(w io.Writer, n int) error {
+	if n < 0 || n > maxRemainingLength {
+		return fmt.Errorf("mqtt: remaining length %d out of range", n)
+	}
+	var buf [4]byte
+	i := 0
+	for {
+		b := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			b |= 0x80
+		}
+		buf[i] = b
+		i++
+		if n == 0 {
+			break
+		}
+	}
+	_, err := w.Write(buf[:i])
+	return err
+}
+
+// readRemainingLength parses the variable-length encoding.
+func readRemainingLength(r io.Reader) (int, error) {
+	mul, val := 1, 0
+	var b [1]byte
+	for i := 0; i < 4; i++ {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		val += int(b[0]&0x7f) * mul
+		if b[0]&0x80 == 0 {
+			if val > maxRemainingLength {
+				return 0, fmt.Errorf("%w: remaining length %d too large", errMalformed, val)
+			}
+			return val, nil
+		}
+		mul *= 128
+	}
+	return 0, fmt.Errorf("%w: remaining length overlong", errMalformed)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errMalformed
+	}
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, errMalformed
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// Encode serializes p to w.
+func Encode(w io.Writer, p *Packet) error {
+	var body []byte
+	fixedFlags := uint8(0)
+	switch p.Type {
+	case CONNECT:
+		if len(p.ClientID) > 0xffff {
+			return fmt.Errorf("mqtt: client id too long")
+		}
+		body = appendString(body, protocolName)
+		body = append(body, protocolLevel)
+		var connectFlags uint8
+		if p.CleanSession {
+			connectFlags |= 0x02
+		}
+		body = append(body, connectFlags)
+		body = binary.BigEndian.AppendUint16(body, p.KeepAlive)
+		body = appendString(body, p.ClientID)
+	case CONNACK:
+		var sp uint8
+		if p.SessionPresent {
+			sp = 1
+		}
+		body = append(body, sp, p.ReturnCode)
+	case PUBLISH:
+		fixedFlags = p.QoS << 1
+		body = appendString(body, p.Topic)
+		if p.QoS > 0 {
+			body = binary.BigEndian.AppendUint16(body, p.PacketID)
+		}
+		body = append(body, p.Payload...)
+	case PUBACK:
+		body = binary.BigEndian.AppendUint16(body, p.PacketID)
+	case SUBSCRIBE:
+		fixedFlags = 0x2 // reserved bits per spec
+		body = binary.BigEndian.AppendUint16(body, p.PacketID)
+		for _, f := range p.TopicFilters {
+			body = appendString(body, f)
+			body = append(body, p.QoS)
+		}
+	case SUBACK:
+		body = binary.BigEndian.AppendUint16(body, p.PacketID)
+		body = append(body, p.GrantedQoS...)
+	case PINGREQ, PINGRESP, DISCONNECT:
+		// no body
+	default:
+		return fmt.Errorf("mqtt: cannot encode packet type %v", p.Type)
+	}
+	hdr := []byte{byte(p.Type)<<4 | fixedFlags}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeRemainingLength(w, len(body)); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode parses one packet from r.
+func Decode(r io.Reader) (*Packet, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return nil, err
+	}
+	ptype := PacketType(first[0] >> 4)
+	flags := first[0] & 0x0f
+	n, err := readRemainingLength(r)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	p := &Packet{Type: ptype}
+	switch ptype {
+	case CONNECT:
+		name, rest, err := takeString(body)
+		if err != nil || name != protocolName {
+			return nil, fmt.Errorf("%w: bad protocol name", errMalformed)
+		}
+		if len(rest) < 4 {
+			return nil, errMalformed
+		}
+		if rest[0] != protocolLevel {
+			return nil, fmt.Errorf("%w: protocol level %d", errMalformed, rest[0])
+		}
+		p.CleanSession = rest[1]&0x02 != 0
+		p.KeepAlive = binary.BigEndian.Uint16(rest[2:4])
+		p.ClientID, _, err = takeString(rest[4:])
+		if err != nil {
+			return nil, err
+		}
+	case CONNACK:
+		if len(body) != 2 {
+			return nil, errMalformed
+		}
+		p.SessionPresent = body[0]&1 != 0
+		p.ReturnCode = body[1]
+	case PUBLISH:
+		p.QoS = (flags >> 1) & 0x3
+		if p.QoS > 1 {
+			return nil, fmt.Errorf("mqtt: QoS %d unsupported", p.QoS)
+		}
+		var rest []byte
+		p.Topic, rest, err = takeString(body)
+		if err != nil {
+			return nil, err
+		}
+		if p.QoS > 0 {
+			if len(rest) < 2 {
+				return nil, errMalformed
+			}
+			p.PacketID = binary.BigEndian.Uint16(rest[:2])
+			rest = rest[2:]
+		}
+		p.Payload = rest
+	case PUBACK:
+		if len(body) != 2 {
+			return nil, errMalformed
+		}
+		p.PacketID = binary.BigEndian.Uint16(body)
+	case SUBSCRIBE:
+		if len(body) < 2 {
+			return nil, errMalformed
+		}
+		p.PacketID = binary.BigEndian.Uint16(body[:2])
+		rest := body[2:]
+		for len(rest) > 0 {
+			var f string
+			f, rest, err = takeString(rest)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) < 1 {
+				return nil, errMalformed
+			}
+			p.QoS = rest[0]
+			rest = rest[1:]
+			p.TopicFilters = append(p.TopicFilters, f)
+		}
+		if len(p.TopicFilters) == 0 {
+			return nil, fmt.Errorf("%w: SUBSCRIBE without filters", errMalformed)
+		}
+	case SUBACK:
+		if len(body) < 2 {
+			return nil, errMalformed
+		}
+		p.PacketID = binary.BigEndian.Uint16(body[:2])
+		p.GrantedQoS = body[2:]
+	case PINGREQ, PINGRESP, DISCONNECT:
+		if len(body) != 0 {
+			return nil, errMalformed
+		}
+	default:
+		return nil, fmt.Errorf("mqtt: unknown packet type %d", ptype)
+	}
+	return p, nil
+}
+
+// TopicMatches reports whether topic matches filter, honouring the MQTT
+// wildcards "+" (one level) and "#" (remaining levels, last position only).
+func TopicMatches(filter, topic string) bool {
+	fi, ti := 0, 0
+	for {
+		fSeg, fRest, fMore := nextSegment(filter, fi)
+		tSeg, tRest, tMore := nextSegment(topic, ti)
+		switch fSeg {
+		case "#":
+			return true
+		case "+":
+			// matches exactly one level
+		default:
+			if fSeg != tSeg {
+				return false
+			}
+		}
+		if !fMore && !tMore {
+			return true
+		}
+		if fMore != tMore {
+			// One side has more levels. "a/#" also matches "a".
+			if fMore {
+				seg, _, more := nextSegment(filter, fRest)
+				return seg == "#" && !more
+			}
+			return false
+		}
+		fi, ti = fRest, tRest
+	}
+}
+
+// nextSegment returns the topic level starting at i, the index after its
+// separator, and whether more levels follow.
+func nextSegment(s string, i int) (seg string, next int, more bool) {
+	for j := i; j < len(s); j++ {
+		if s[j] == '/' {
+			return s[i:j], j + 1, true
+		}
+	}
+	return s[i:], len(s), false
+}

@@ -1,0 +1,242 @@
+// Package netx provides the low-level socket plumbing that Socket Takeover
+// (§4.1 of the paper) is built on:
+//
+//   - passing open file descriptors between processes over a UNIX domain
+//     socket with sendmsg(2)/SCM_RIGHTS, the exact kernel mechanism the
+//     paper describes ("these FDs behave as though they have been created
+//     with dup(2)" on the receiving side);
+//   - creating TCP listeners and UDP packet sockets with SO_REUSEPORT so
+//     multiple server threads accept and process packets independently;
+//   - reconstructing net.Listener / net.PacketConn values from received
+//     FDs.
+//
+// The FD-passing path uses real syscalls and therefore behaves identically
+// whether the two endpoints are separate processes (production topology) or
+// two instances inside one test process connected by a socketpair — the
+// kernel neither knows nor cares.
+package netx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT on Linux. The syscall package does not export
+// it on all Go versions, so it is pinned here; the value is part of the
+// kernel ABI and stable.
+const soReusePort = 0xf
+
+// maxFDsPerMessage bounds how many descriptors a single control message
+// carries. Linux caps SCM_RIGHTS at SCM_MAX_FD (253); we stay comfortably
+// below it and chunk larger sets at a higher layer.
+const maxFDsPerMessage = 128
+
+// ErrNoFDs is returned by ReadFDs when a message unexpectedly carries no
+// descriptors.
+var ErrNoFDs = errors.New("netx: control message carried no file descriptors")
+
+// WriteFDs sends data plus the given file descriptors over the UNIX socket
+// as a single message with an SCM_RIGHTS control message. len(fds) must be
+// at most maxFDsPerMessage.
+func WriteFDs(conn *net.UnixConn, data []byte, fds []int) error {
+	if len(fds) > maxFDsPerMessage {
+		return fmt.Errorf("netx: %d fds exceeds per-message limit %d", len(fds), maxFDsPerMessage)
+	}
+	var oob []byte
+	if len(fds) > 0 {
+		oob = syscall.UnixRights(fds...)
+	}
+	n, oobn, err := conn.WriteMsgUnix(data, oob, nil)
+	if err != nil {
+		return fmt.Errorf("netx: sendmsg: %w", err)
+	}
+	if n != len(data) || oobn != len(oob) {
+		return fmt.Errorf("netx: short sendmsg: data %d/%d oob %d/%d", n, len(data), oobn, len(oob))
+	}
+	return nil
+}
+
+// ReadFDs reads one message from the UNIX socket, returning the data bytes
+// and any file descriptors received via SCM_RIGHTS. The received FDs have
+// CLOEXEC set. If the message carries no control data, fds is nil.
+func ReadFDs(conn *net.UnixConn, buf []byte) (data []byte, fds []int, err error) {
+	oob := make([]byte, syscall.CmsgSpace(4*maxFDsPerMessage))
+	n, oobn, _, _, err := conn.ReadMsgUnix(buf, oob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("netx: recvmsg: %w", err)
+	}
+	data = buf[:n]
+	if oobn == 0 {
+		return data, nil, nil
+	}
+	msgs, err := syscall.ParseSocketControlMessage(oob[:oobn])
+	if err != nil {
+		return nil, nil, fmt.Errorf("netx: parse control message: %w", err)
+	}
+	for _, m := range msgs {
+		got, err := syscall.ParseUnixRights(&m)
+		if err != nil {
+			// Not an SCM_RIGHTS message; skip it.
+			continue
+		}
+		fds = append(fds, got...)
+	}
+	for _, fd := range fds {
+		syscall.CloseOnExec(fd)
+	}
+	return data, fds, nil
+}
+
+// SocketPair returns both ends of a connected AF_UNIX SOCK_STREAM pair as
+// *net.UnixConn. It is how tests (and the in-process takeover used by the
+// examples) wire an old and a new "instance" together without touching the
+// filesystem.
+func SocketPair() (a, b *net.UnixConn, err error) {
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM|syscall.SOCK_CLOEXEC, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("netx: socketpair: %w", err)
+	}
+	toConn := func(fd int, name string) (*net.UnixConn, error) {
+		f := os.NewFile(uintptr(fd), name)
+		defer f.Close() // net.FileConn dups the fd
+		c, err := net.FileConn(f)
+		if err != nil {
+			return nil, err
+		}
+		uc, ok := c.(*net.UnixConn)
+		if !ok {
+			c.Close()
+			return nil, fmt.Errorf("netx: socketpair end is %T, not *net.UnixConn", c)
+		}
+		return uc, nil
+	}
+	a, err = toConn(fds[0], "socketpair-a")
+	if err != nil {
+		syscall.Close(fds[1])
+		return nil, nil, err
+	}
+	b, err = toConn(fds[1], "socketpair-b")
+	if err != nil {
+		a.Close()
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// ListenerFD extracts a duplicated file descriptor from a TCP listener.
+// The caller owns the returned FD and must close it.
+func ListenerFD(ln *net.TCPListener) (int, error) {
+	f, err := ln.File() // dups the fd
+	if err != nil {
+		return -1, fmt.Errorf("netx: listener File(): %w", err)
+	}
+	fd := int(f.Fd())
+	// Steal the fd from the *os.File so closing the file later doesn't
+	// close our dup: dup it once more and close the File.
+	dup, err := syscall.Dup(fd)
+	if err != nil {
+		f.Close()
+		return -1, fmt.Errorf("netx: dup: %w", err)
+	}
+	syscall.CloseOnExec(dup)
+	f.Close()
+	return dup, nil
+}
+
+// PacketConnFD extracts a duplicated file descriptor from a UDP socket.
+// The caller owns the returned FD and must close it.
+func PacketConnFD(pc *net.UDPConn) (int, error) {
+	f, err := pc.File()
+	if err != nil {
+		return -1, fmt.Errorf("netx: packetconn File(): %w", err)
+	}
+	fd := int(f.Fd())
+	dup, err := syscall.Dup(fd)
+	if err != nil {
+		f.Close()
+		return -1, fmt.Errorf("netx: dup: %w", err)
+	}
+	syscall.CloseOnExec(dup)
+	f.Close()
+	return dup, nil
+}
+
+// ListenerFromFD reconstructs a *net.TCPListener from a received FD. The FD
+// is duplicated by net.FileListener; the input fd is closed before
+// returning (ownership transfers in).
+func ListenerFromFD(fd int, name string) (*net.TCPListener, error) {
+	f := os.NewFile(uintptr(fd), name)
+	defer f.Close()
+	ln, err := net.FileListener(f)
+	if err != nil {
+		return nil, fmt.Errorf("netx: FileListener: %w", err)
+	}
+	tln, ok := ln.(*net.TCPListener)
+	if !ok {
+		ln.Close()
+		return nil, fmt.Errorf("netx: fd %d is a %T, not *net.TCPListener", fd, ln)
+	}
+	return tln, nil
+}
+
+// PacketConnFromFD reconstructs a *net.UDPConn from a received FD. The
+// input fd is closed before returning (ownership transfers in).
+func PacketConnFromFD(fd int, name string) (*net.UDPConn, error) {
+	f := os.NewFile(uintptr(fd), name)
+	defer f.Close()
+	pc, err := net.FilePacketConn(f)
+	if err != nil {
+		return nil, fmt.Errorf("netx: FilePacketConn: %w", err)
+	}
+	upc, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("netx: fd %d is a %T, not *net.UDPConn", fd, pc)
+	}
+	return upc, nil
+}
+
+// reusePortControl is a net.ListenConfig Control hook that sets
+// SO_REUSEADDR and SO_REUSEPORT before bind.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var ctrlErr error
+	err := c.Control(func(fd uintptr) {
+		if err := syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1); err != nil {
+			ctrlErr = err
+			return
+		}
+		ctrlErr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return ctrlErr
+}
+
+// ListenTCPReusePort opens a TCP listener with SO_REUSEPORT set, so several
+// listeners (in one or many processes) can bind the same VIP address.
+func ListenTCPReusePort(addr string) (*net.TCPListener, error) {
+	lc := net.ListenConfig{Control: reusePortControl}
+	ln, err := lc.Listen(context.Background(), "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netx: listen tcp reuseport %s: %w", addr, err)
+	}
+	return ln.(*net.TCPListener), nil
+}
+
+// ListenUDPReusePort opens a UDP socket with SO_REUSEPORT set. This is the
+// configuration whose kernel socket-ring flux during a release causes the
+// mis-routing shown in Fig. 2d; Socket Takeover avoids the flux by passing
+// the FD so the ring never changes.
+func ListenUDPReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: reusePortControl}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netx: listen udp reuseport %s: %w", addr, err)
+	}
+	return pc.(*net.UDPConn), nil
+}

@@ -1,0 +1,481 @@
+package proxy
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"zdr/internal/h2t"
+	"zdr/internal/http1"
+	"zdr/internal/mqtt"
+)
+
+// originSession tracks one Edge-facing tunnel session on the Origin, with
+// the MQTT relays it carries (needed for reconnect_solicitation at drain).
+type originSession struct {
+	p    *Proxy
+	sess *h2t.Session
+
+	mu     sync.Mutex
+	relays map[*h2t.Stream]*brokerRelay
+}
+
+type brokerRelay struct {
+	stream *h2t.Stream
+	conn   net.Conn
+	userID string
+}
+
+func (os *originSession) addRelay(r *brokerRelay) {
+	os.mu.Lock()
+	os.relays[r.stream] = r
+	os.mu.Unlock()
+}
+
+func (os *originSession) removeRelay(st *h2t.Stream) {
+	os.mu.Lock()
+	delete(os.relays, st)
+	os.mu.Unlock()
+}
+
+// startDrain performs the Origin side of a graceful restart: GOAWAY on
+// the tunnel (no new streams) and reconnect_solicitation on every MQTT
+// relay stream (§4.2 step A). HTTP streams in flight run to completion.
+func (os *originSession) startDrain() {
+	os.sess.GoAway()
+	os.mu.Lock()
+	relays := make([]*brokerRelay, 0, len(os.relays))
+	for _, r := range os.relays {
+		relays = append(relays, r)
+	}
+	os.mu.Unlock()
+	for _, r := range relays {
+		r.stream.SendControl(h2t.FrameReconnectSolicitation, []byte(r.userID))
+		os.p.reg.Counter("origin.mqtt.solicitations_sent").Inc()
+	}
+}
+
+func (os *originSession) close() {
+	os.mu.Lock()
+	relays := make([]*brokerRelay, 0, len(os.relays))
+	for _, r := range os.relays {
+		relays = append(relays, r)
+	}
+	os.relays = map[*h2t.Stream]*brokerRelay{}
+	os.mu.Unlock()
+	for _, r := range relays {
+		r.conn.Close()
+	}
+	os.sess.Close()
+}
+
+// handleTunnelConn serves one Edge-facing tunnel connection.
+func (p *Proxy) handleTunnelConn(conn net.Conn) {
+	os := &originSession{
+		p:      p,
+		sess:   h2t.NewSession(conn, false),
+		relays: make(map[*h2t.Stream]*brokerRelay),
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		os.sess.Close()
+		return
+	}
+	p.srvSessions[os] = struct{}{}
+	draining := p.draining
+	p.mu.Unlock()
+	p.reg.Counter("origin.tunnel.sessions").Inc()
+	if draining {
+		// A session accepted in the race window of a drain is immediately
+		// told to go elsewhere.
+		os.sess.GoAway()
+	}
+	defer func() {
+		p.mu.Lock()
+		delete(p.srvSessions, os)
+		p.mu.Unlock()
+		os.close()
+	}()
+	for {
+		st, err := os.sess.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handleTunnelStream(os, st)
+		}()
+	}
+}
+
+func (p *Proxy) handleTunnelStream(os *originSession, st *h2t.Stream) {
+	hdr := st.Headers()
+	switch hdr["proto"] {
+	case "mqtt":
+		p.relayMQTT(os, st, hdr["user-id"], false)
+	case "mqtt-resume":
+		p.relayMQTT(os, st, hdr["user-id"], true)
+	default:
+		p.forwardHTTP(st, hdr)
+	}
+}
+
+// pickBroker resolves a user-id to its broker by consistent hashing — the
+// property that lets ANY healthy Origin find the same broker (§4.2).
+func (p *Proxy) pickBroker(userID string) (string, error) {
+	addr := p.brokerRing.Pick(userID)
+	if addr == "" {
+		return "", errors.New("proxy: no brokers configured")
+	}
+	return addr, nil
+}
+
+// relayMQTT connects a tunnel stream to the user's broker and relays
+// bytes. resume=true is a DCR re_connect: this Origin itself performs the
+// CONNECT(CleanSession=false) handshake with the broker and reports the
+// verdict to the Edge as connect_ack / connect_refuse before splicing into
+// plain byte relaying.
+func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID string, resume bool) {
+	if userID == "" {
+		st.Reset()
+		return
+	}
+	brokerAddr, err := p.pickBroker(userID)
+	if err != nil {
+		st.Reset()
+		return
+	}
+	bconn, err := net.DialTimeout("tcp", brokerAddr, p.cfg.DialTimeout)
+	if err != nil {
+		p.reg.Counter("origin.mqtt.broker_dial_failed").Inc()
+		if resume {
+			st.SendControl(h2t.FrameConnectRefuse, nil)
+		}
+		st.Reset()
+		return
+	}
+
+	if resume {
+		// §4.2 steps B2/C1-C2: re_connect to the broker holding the
+		// user's context; it accepts only if context exists.
+		if err := mqtt.Encode(bconn, &mqtt.Packet{Type: mqtt.CONNECT, ClientID: userID, CleanSession: false}); err != nil {
+			st.SendControl(h2t.FrameConnectRefuse, nil)
+			bconn.Close()
+			st.Reset()
+			return
+		}
+		bconn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		ack, err := mqtt.Decode(bconn)
+		bconn.SetReadDeadline(time.Time{})
+		if err != nil || ack.Type != mqtt.CONNACK || ack.ReturnCode != mqtt.ConnAccepted || !ack.SessionPresent {
+			p.reg.Counter("origin.mqtt.resume_refused").Inc()
+			st.SendControl(h2t.FrameConnectRefuse, nil)
+			bconn.Close()
+			st.Reset()
+			return
+		}
+		p.reg.Counter("origin.mqtt.resume_ack").Inc()
+		if err := st.SendControl(h2t.FrameConnectAck, nil); err != nil {
+			bconn.Close()
+			st.Reset()
+			return
+		}
+	}
+
+	relay := &brokerRelay{stream: st, conn: bconn, userID: userID}
+	os.addRelay(relay)
+	p.reg.Counter("origin.mqtt.relays").Inc()
+	p.reg.Gauge("origin.mqtt.active").Inc()
+	defer func() {
+		os.removeRelay(st)
+		p.reg.Gauge("origin.mqtt.active").Dec()
+	}()
+
+	// Bidirectional byte relay; returns when either side closes.
+	errCh := make(chan error, 2)
+	go func() {
+		_, err := io.Copy(bconn, st)
+		errCh <- err
+	}()
+	go func() {
+		_, err := io.Copy(struct{ io.Writer }{st}, bconn)
+		errCh <- err
+	}()
+	<-errCh
+	bconn.Close()
+	st.Reset()
+	<-errCh
+}
+
+// forwardHTTP forwards one tunneled HTTP request to an app server,
+// implementing the client (downstream-proxy) side of Partial Post Replay.
+func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
+	method := hdr[":method"]
+	path := hdr[":path"]
+	if method == "" || path == "" {
+		st.Reset()
+		return
+	}
+	cl := int64(-1)
+	if v, ok := hdr["content-length"]; ok {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			cl = n
+		}
+	}
+	p.reg.Counter("origin.http.requests").Inc()
+
+	var replay []byte // partial body handed back by a restarting server
+	var body io.Reader = st
+	if method != "POST" && method != "PUT" {
+		body = nil
+	}
+
+	attempts := p.cfg.PPRRetries
+	var lastErr error
+	for attempt := 0; attempt <= attempts; attempt++ {
+		asAddr := p.nextAppServer(attempt)
+		if asAddr == "" {
+			lastErr = errors.New("proxy: no app servers configured")
+			break
+		}
+		resp, _, conn, err := p.attemptAppServer(asAddr, method, path, cl, replay, body)
+		if err != nil {
+			lastErr = err
+			p.reg.Counter("origin.http.attempt_errors").Inc()
+			continue
+		}
+		if http1.IsPartialPostReplay(resp) {
+			// §4.3: collect the partial body; 379 must never reach the
+			// user. Replay to another server with the returned prefix
+			// plus whatever the client is still sending.
+			partial, err := http1.ReadFullBody(resp.Body)
+			conn.Close()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			replay = partial
+			p.reg.Counter("origin.http.ppr_replays").Inc()
+			continue
+		}
+		// Success (or a terminal app error): relay to the Edge.
+		p.relayResponse(st, resp)
+		conn.Close()
+		return
+	}
+	// All attempts failed: the paper's fallback — a standard 500.
+	p.reg.Counter("origin.http.ppr_exhausted").Inc()
+	_ = lastErr
+	st.SendHeaders(map[string]string{"status": "500"}, true)
+}
+
+// nextAppServer round-robins with an attempt offset so PPR retries hit a
+// different server (§4.4: a draining server's replacement pick).
+func (p *Proxy) nextAppServer(attempt int) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.cfg.AppServers) == 0 {
+		return ""
+	}
+	if attempt == 0 {
+		p.rrApp++
+	}
+	return p.cfg.AppServers[(p.rrApp+attempt)%len(p.cfg.AppServers)]
+}
+
+// attemptAppServer sends one request attempt. The body is streamed in
+// small chunks while the response is watched concurrently, so a 379 that
+// arrives mid-upload stops forwarding promptly (the restarting server
+// grace-reads everything sent before that moment, preserving the
+// no-byte-lost invariant). On return the caller owns conn.
+func (p *Proxy) attemptAppServer(addr, method, path string, cl int64, replay []byte, rest io.Reader) (*http1.Response, *bufio.Reader, net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Response watcher.
+	type respResult struct {
+		resp *http1.Response
+		br   *bufio.Reader
+		err  error
+	}
+	respCh := make(chan respResult, 1)
+	go func() {
+		br := bufio.NewReader(conn)
+		resp, err := http1.ReadResponse(br)
+		respCh <- respResult{resp, br, err}
+	}()
+
+	fail := func(err error) (*http1.Response, *bufio.Reader, net.Conn, error) {
+		conn.Close()
+		return nil, nil, nil, err
+	}
+
+	// Head.
+	var head bytes.Buffer
+	fmt.Fprintf(&head, "%s %s HTTP/1.1\r\n", method, path)
+	hasBody := rest != nil || len(replay) > 0
+	chunked := false
+	switch {
+	case !hasBody:
+		head.WriteString("Content-Length: 0\r\n")
+	case cl >= 0:
+		fmt.Fprintf(&head, "Content-Length: %d\r\n", cl)
+	default:
+		head.WriteString("Transfer-Encoding: chunked\r\n")
+		chunked = true
+	}
+	head.WriteString("\r\n")
+	if _, err := conn.Write(head.Bytes()); err != nil {
+		return fail(err)
+	}
+
+	// Body: replay prefix first, then the live stream, chunk by chunk,
+	// polling for an early response before each write.
+	var cw *http1.ChunkedWriter
+	if chunked {
+		cw = http1.NewChunkedWriter(conn)
+	}
+	writeChunk := func(b []byte) error {
+		if len(b) == 0 {
+			return nil
+		}
+		if chunked {
+			_, err := cw.Write(b)
+			return err
+		}
+		_, err := conn.Write(b)
+		return err
+	}
+
+	if hasBody {
+		earlyResp := func() *respResult {
+			select {
+			case rr := <-respCh:
+				return &rr
+			default:
+				return nil
+			}
+		}
+		if rr := earlyResp(); rr != nil {
+			if rr.err != nil {
+				return fail(rr.err)
+			}
+			return rr.resp, rr.br, conn, nil
+		}
+		if err := writeChunk(replay); err != nil {
+			return fail(fmt.Errorf("proxy: writing replay prefix: %w", err))
+		}
+		if rest != nil {
+			buf := make([]byte, 8<<10)
+			for {
+				if rr := earlyResp(); rr != nil {
+					// Early response (379 or error) — stop forwarding.
+					if rr.err != nil {
+						return fail(rr.err)
+					}
+					return rr.resp, rr.br, conn, nil
+				}
+				n, rerr := rest.Read(buf)
+				if n > 0 {
+					if rr := earlyResp(); rr != nil {
+						// Response arrived while we were blocked reading
+						// the client: do NOT forward this chunk — the
+						// 379 body already reflects everything the
+						// server received. The chunk stays with the
+						// caller via the replay mechanism? No: it was
+						// consumed from the stream. Hand it back by
+						// prepending to the response body consumer.
+						if rr.err != nil {
+							return fail(rr.err)
+						}
+						return p.prependConsumed(rr.resp, buf[:n]), rr.br, conn, nil
+					}
+					if werr := writeChunk(buf[:n]); werr != nil {
+						return fail(fmt.Errorf("proxy: forwarding body: %w", werr))
+					}
+				}
+				if rerr == io.EOF {
+					break
+				}
+				if rerr != nil {
+					return fail(fmt.Errorf("proxy: reading client body: %w", rerr))
+				}
+			}
+			if chunked {
+				if err := cw.Close(); err != nil {
+					return fail(err)
+				}
+			}
+		} else if chunked {
+			if err := cw.Close(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// Await the response.
+	select {
+	case rr := <-respCh:
+		if rr.err != nil {
+			return fail(rr.err)
+		}
+		return rr.resp, rr.br, conn, nil
+	case <-time.After(30 * time.Second):
+		return fail(errors.New("proxy: app server response timeout"))
+	}
+}
+
+// prependConsumed attaches body bytes that were consumed from the client
+// stream but never forwarded (the write was cancelled by an early 379) to
+// the 379's partial body, preserving the replay invariant:
+// replayed = serverReceived ++ consumedUnforwarded ++ stillStreaming.
+func (p *Proxy) prependConsumed(resp *http1.Response, consumed []byte) *http1.Response {
+	if !http1.IsPartialPostReplay(resp) || len(consumed) == 0 {
+		return resp
+	}
+	tail := make([]byte, len(consumed))
+	copy(tail, consumed)
+	if resp.Body == nil {
+		resp.Body = bytes.NewReader(tail)
+	} else {
+		resp.Body = io.MultiReader(resp.Body, bytes.NewReader(tail))
+	}
+	if resp.ContentLength >= 0 {
+		resp.ContentLength += int64(len(tail))
+	}
+	return resp
+}
+
+// relayResponse sends an app-server response back over the tunnel stream.
+func (p *Proxy) relayResponse(st *h2t.Stream, resp *http1.Response) {
+	hdr := map[string]string{
+		"status":         strconv.Itoa(resp.StatusCode),
+		"status-message": resp.StatusMessage,
+	}
+	for k, vs := range resp.Header {
+		if len(vs) > 0 {
+			hdr[k] = vs[0]
+		}
+	}
+	p.reg.Counter(fmt.Sprintf("origin.http.status.%d", resp.StatusCode)).Inc()
+	if err := st.SendHeaders(hdr, false); err != nil {
+		return
+	}
+	if resp.Body != nil {
+		if _, err := io.Copy(struct{ io.Writer }{st}, resp.Body); err != nil {
+			st.Reset()
+			return
+		}
+	}
+	st.CloseWrite()
+}

@@ -1,0 +1,520 @@
+// Package proxy implements Proxygen, the L7 load balancer at the heart of
+// the paper's traffic infrastructure (§2.1): reverse proxy for user
+// traffic, tunnel endpoint between Edge and Origin, MQTT relay, and the
+// integration point for all three Zero Downtime Release mechanisms:
+//
+//   - Socket Takeover (§4.1): a proxy's listening sockets (web, mqtt,
+//     tunnel, health — its VIPs) live in a takeover.ListenerSet that a new
+//     instance can receive over a UNIX socket; the old instance then
+//     drains. The health VIP transfers too, which is how health-check
+//     responsibility moves to the new instance (Fig. 5 step F) and why
+//     Katran never notices the restart.
+//   - Downstream Connection Reuse (§4.2): an Origin proxy relays MQTT
+//     between tunnel streams and brokers chosen by consistent-hashing the
+//     user-id; on restart it solicits the Edge to re_connect through
+//     another Origin path, and the broker splices the session — the end
+//     user's connection never drops.
+//   - Partial Post Replay (§4.3): the Origin proxy is the "downstream
+//     Proxygen" that receives 379 hand-backs from a restarting app server
+//     and replays the rebuilt request to a healthy one.
+//
+// One Proxy value runs in either the Edge or the Origin role; the roles
+// share lifecycle, health checking and takeover plumbing.
+package proxy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"zdr/internal/consistent"
+	"zdr/internal/metrics"
+	"zdr/internal/quicx"
+	"zdr/internal/takeover"
+)
+
+// Role selects Edge or Origin behaviour.
+type Role int
+
+// Roles.
+const (
+	RoleEdge Role = iota
+	RoleOrigin
+)
+
+// VIP names used in the takeover listener set.
+const (
+	VIPWeb    = "web"    // edge: user HTTP
+	VIPMQTT   = "mqtt"   // edge: user MQTT
+	VIPTunnel = "tunnel" // origin: edge-facing h2t tunnel
+	VIPQUIC   = "quic"   // edge: QUIC-style UDP (optional)
+	VIPHealth = "health" // both: Katran health checks
+)
+
+// Config configures a proxy instance.
+type Config struct {
+	// Name identifies the instance (metrics, Via headers).
+	Name string
+	// Role is RoleEdge or RoleOrigin.
+	Role Role
+
+	// Origins lists Origin tunnel addresses (Edge role).
+	Origins []string
+	// AppServers lists app-server addresses (Origin role).
+	AppServers []string
+	// Brokers lists MQTT broker addresses (Origin role). Broker choice is
+	// by consistent hash of user-id so every Origin resolves a user to
+	// the same broker (§4.2).
+	Brokers []string
+
+	// PPRRetries bounds replay attempts; the paper's production value is
+	// 10 (§4.4). Default 10.
+	PPRRetries int
+	// DrainPeriod is how long a draining instance serves existing
+	// connections (paper: 20 minutes for Proxygen; tests use much less).
+	// Default 2s.
+	DrainPeriod time.Duration
+	// StaticContent maps request targets the Edge serves directly from
+	// cache (Direct Server Return, §2.2 step 2).
+	StaticContent map[string][]byte
+	// DialTimeout bounds upstream dials. Default 2s.
+	DialTimeout time.Duration
+	// EnableQUIC adds a QUIC-style UDP VIP at the Edge, served by a
+	// connection-ID-routed datagram server (internal/quicx). During a
+	// Socket Takeover the UDP socket transfers like the TCP listeners,
+	// and packets belonging to the draining instance's flows are routed
+	// back to it in user space (§4.1).
+	EnableQUIC bool
+	// VIPAddrs optionally pins VIP names to explicit bind addresses
+	// (default: ephemeral ports on 127.0.0.1). Used by experiments that
+	// model traditional restart-in-place, where the replacement instance
+	// must rebind the same address.
+	VIPAddrs map[string]string
+}
+
+func (c *Config) fill() {
+	if c.PPRRetries <= 0 {
+		c.PPRRetries = 10
+	}
+	if c.DrainPeriod <= 0 {
+		c.DrainPeriod = 2 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+}
+
+// Proxy is one Proxygen instance.
+type Proxy struct {
+	cfg Config
+	reg *metrics.Registry
+
+	set *takeover.ListenerSet
+
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+	// edge state
+	tunnels   map[string]*tunnelEntry // origin addr -> session
+	rrOrigin  int
+	mqttConns map[*mqttRelay]struct{}
+	// origin state
+	srvSessions map[*originSession]struct{}
+	rrApp       int
+	brokerRing  *consistent.Ring
+
+	// quic is the Edge's UDP stack (nil unless EnableQUIC).
+	quic *quicx.Server
+
+	takeSrv *takeover.Server
+	drainCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New creates a proxy. reg may be nil.
+func New(cfg Config, reg *metrics.Registry) *Proxy {
+	cfg.fill()
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	p := &Proxy{
+		cfg:         cfg,
+		reg:         reg,
+		tunnels:     make(map[string]*tunnelEntry),
+		mqttConns:   make(map[*mqttRelay]struct{}),
+		srvSessions: make(map[*originSession]struct{}),
+		drainCh:     make(chan struct{}),
+	}
+	if cfg.Role == RoleOrigin {
+		p.brokerRing = consistent.NewRing(100, cfg.Brokers...)
+	}
+	return p
+}
+
+// Metrics returns the proxy's registry.
+func (p *Proxy) Metrics() *metrics.Registry { return p.reg }
+
+// Name returns the instance name.
+func (p *Proxy) Name() string { return p.cfg.Name }
+
+// vipsForRole returns the VIPs this role binds (port 0 = ephemeral unless
+// pinned in overrides).
+func vipsForRole(role Role, host string, enableQUIC bool, overrides map[string]string) []takeover.VIP {
+	addr := func(name string) string {
+		if a, ok := overrides[name]; ok {
+			return a
+		}
+		return host + ":0"
+	}
+	var names []string
+	switch role {
+	case RoleEdge:
+		names = []string{VIPWeb, VIPMQTT, VIPHealth}
+	default:
+		names = []string{VIPTunnel, VIPHealth}
+	}
+	vips := make([]takeover.VIP, 0, len(names)+1)
+	for _, n := range names {
+		vips = append(vips, takeover.VIP{Name: n, Network: takeover.NetworkTCP, Addr: addr(n)})
+	}
+	if role == RoleEdge && enableQUIC {
+		vips = append(vips, takeover.VIP{Name: VIPQUIC, Network: takeover.NetworkUDP, Addr: addr(VIPQUIC)})
+	}
+	return vips
+}
+
+// Listen binds fresh VIP sockets on 127.0.0.1 and starts serving.
+func (p *Proxy) Listen() error {
+	set, err := takeover.Listen(vipsForRole(p.cfg.Role, "127.0.0.1", p.cfg.EnableQUIC, p.cfg.VIPAddrs)...)
+	if err != nil {
+		return err
+	}
+	return p.Adopt(set)
+}
+
+// Adopt starts serving on an existing listener set — either freshly bound
+// or received through Socket Takeover.
+func (p *Proxy) Adopt(set *takeover.ListenerSet) error {
+	p.mu.Lock()
+	if p.set != nil {
+		p.mu.Unlock()
+		return errors.New("proxy: already serving")
+	}
+	p.set = set
+	p.mu.Unlock()
+
+	if ln := set.TCP(VIPHealth); ln != nil {
+		p.serveLoop(ln, p.handleHealthConn)
+	}
+	switch p.cfg.Role {
+	case RoleEdge:
+		if ln := set.TCP(VIPWeb); ln != nil {
+			p.serveLoop(ln, p.handleEdgeHTTPConn)
+		}
+		if ln := set.TCP(VIPMQTT); ln != nil {
+			p.serveLoop(ln, p.handleEdgeMQTTConn)
+		}
+		if pc := set.UDP(VIPQUIC); pc != nil {
+			q := quicx.NewServer(p.cfg.Name+"/quic", pc, p.quicHandler, p.reg)
+			p.mu.Lock()
+			p.quic = q
+			p.mu.Unlock()
+			q.Start()
+		}
+	case RoleOrigin:
+		if ln := set.TCP(VIPTunnel); ln != nil {
+			p.serveLoop(ln, p.handleTunnelConn)
+		}
+	}
+	return nil
+}
+
+// quicHandler serves the QUIC-style VIP: the payload is a request target
+// resolved against the Edge's cached content (Direct Server Return over
+// UDP). The instance name is prefixed so experiments can attribute which
+// process served a flow across a takeover.
+func (p *Proxy) quicHandler(conn quicx.ConnID, payload []byte) []byte {
+	p.reg.Counter("edge.quic.requests").Inc()
+	if body, ok := p.cfg.StaticContent[string(payload)]; ok {
+		return append([]byte(p.cfg.Name+"|"), body...)
+	}
+	return []byte(p.cfg.Name + "|404")
+}
+
+// serveLoop runs an accept loop feeding handler goroutines.
+func (p *Proxy) serveLoop(ln *net.TCPListener, handler func(net.Conn)) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener handle closed (drain or shutdown)
+			}
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				handler(conn)
+			}()
+		}
+	}()
+}
+
+// Addr returns the bound address of the named VIP ("" if absent).
+func (p *Proxy) Addr(vip string) string {
+	p.mu.Lock()
+	set := p.set
+	p.mu.Unlock()
+	if set == nil {
+		return ""
+	}
+	if ln := set.TCP(vip); ln != nil {
+		return ln.Addr().String()
+	}
+	if pc := set.UDP(vip); pc != nil {
+		return pc.LocalAddr().String()
+	}
+	return ""
+}
+
+// VIPAddrs returns the bound address of every VIP this instance serves.
+// Used by the fresh-socket restart path (§5.1 remediation), where the next
+// generation must bind brand-new sockets on the same addresses.
+func (p *Proxy) VIPAddrs() map[string]string {
+	p.mu.Lock()
+	set := p.set
+	p.mu.Unlock()
+	out := map[string]string{}
+	if set == nil {
+		return out
+	}
+	for _, v := range set.VIPs() {
+		out[v.Name] = v.Addr
+	}
+	return out
+}
+
+// StopTakeoverServer closes the armed takeover server (if any), releasing
+// the UNIX socket path for the next generation.
+func (p *Proxy) StopTakeoverServer() {
+	p.mu.Lock()
+	srv := p.takeSrv
+	p.takeSrv = nil
+	p.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// Draining reports whether the proxy is in its drain phase.
+func (p *Proxy) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// handleHealthConn answers Katran's probes and the monitoring plane:
+//
+//	"HC\n"    → "OK\n", or "DRAIN\n" while draining (§2.3: draining
+//	            instances fail health checks);
+//	"STATS\n" → a counter dump — the paper's per-instance real-time
+//	            release signal (§6: "Each restarting instance emits a
+//	            signal through which its status can be observed").
+func (p *Proxy) handleHealthConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return
+	}
+	switch line {
+	case "HC\n":
+		p.reg.Counter("proxy.healthchecks").Inc()
+		if p.Draining() {
+			fmt.Fprint(conn, "DRAIN\n")
+			return
+		}
+		fmt.Fprint(conn, "OK\n")
+	case "STATS\n":
+		status := "active"
+		if p.Draining() {
+			status = "draining"
+		}
+		fmt.Fprintf(conn, "instance %s\nstatus %s\n%s", p.cfg.Name, status, p.reg.Dump())
+	}
+}
+
+// ServeTakeover runs the Socket Takeover server on path (Fig. 5 step A).
+// When a new instance completes the hand-off, this instance automatically
+// starts draining. Returns immediately; the hand-off happens in the
+// background.
+func (p *Proxy) ServeTakeover(path string) error {
+	p.mu.Lock()
+	set := p.set
+	p.mu.Unlock()
+	if set == nil {
+		return errors.New("proxy: not serving yet")
+	}
+	srv := &takeover.Server{
+		Set: set,
+		OnDrainStart: func(takeover.Result) {
+			p.StartDraining()
+		},
+	}
+	p.mu.Lock()
+	quic := p.quic
+	p.mu.Unlock()
+	if quic != nil {
+		// Pre-configure the host-local forward address for user-space UDP
+		// routing and advertise it to the next generation (§4.1).
+		fwd, err := quic.PrepareDrain()
+		if err != nil {
+			return err
+		}
+		srv.Meta = map[string]string{"quic-forward": fwd.String()}
+	}
+	p.mu.Lock()
+	p.takeSrv = srv
+	p.mu.Unlock()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(path) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-time.After(50 * time.Millisecond):
+		return nil // serving in background
+	}
+}
+
+// TakeoverFrom connects to the old instance's takeover server, receives
+// the listener set, and starts serving on it (Fig. 5 steps B–D and F).
+func (p *Proxy) TakeoverFrom(path string) (*takeover.Result, error) {
+	set, res, err := takeover.Connect(path, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Adopt(set); err != nil {
+		set.Close()
+		return nil, err
+	}
+	if fwd, ok := res.Meta["quic-forward"]; ok {
+		p.mu.Lock()
+		quic := p.quic
+		p.mu.Unlock()
+		if quic != nil {
+			if addr, err := net.ResolveUDPAddr("udp", fwd); err == nil {
+				quic.SetForward(addr)
+			}
+		}
+	}
+	p.reg.Counter("proxy.takeovers").Inc()
+	return res, nil
+}
+
+// StartDraining enters the drain phase (Fig. 5 step E):
+//
+//   - health checks answer DRAIN;
+//   - the accept loops stop (this instance's listener handles close; the
+//     shared sockets stay alive in the new instance);
+//   - Origin: GOAWAY on every tunnel session and reconnect_solicitation
+//     on every relayed MQTT stream (§4.2 step A);
+//   - existing connections continue to be served until Shutdown.
+func (p *Proxy) StartDraining() {
+	p.mu.Lock()
+	if p.draining || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.draining = true
+	set := p.set
+	sessions := make([]*originSession, 0, len(p.srvSessions))
+	for s := range p.srvSessions {
+		sessions = append(sessions, s)
+	}
+	p.mu.Unlock()
+	close(p.drainCh)
+	p.reg.Counter("proxy.drains").Inc()
+
+	// Closing our TCP handles stops the accept loops without closing the
+	// shared sockets (the new instance's FDs keep them alive). When no
+	// takeover happened this also unbinds the VIPs — the HardRestart
+	// case. The UDP handle stays open: the draining QUIC stack keeps
+	// writing replies through it while its flows are forwarded back.
+	if set != nil {
+		set.CloseTCP()
+	}
+	p.mu.Lock()
+	quic := p.quic
+	p.mu.Unlock()
+	if quic != nil {
+		quic.StartDraining()
+	}
+	for _, s := range sessions {
+		s.startDrain()
+	}
+}
+
+// Shutdown drains (if not already draining) and, after the drain period,
+// terminates all remaining work.
+func (p *Proxy) Shutdown() {
+	p.StartDraining()
+	time.Sleep(p.cfg.DrainPeriod)
+	p.terminate()
+}
+
+// Close terminates immediately (tests).
+func (p *Proxy) Close() { p.terminate() }
+
+func (p *Proxy) terminate() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	if !p.draining {
+		p.draining = true
+		close(p.drainCh)
+	}
+	set := p.set
+	takeSrv := p.takeSrv
+	tunnels := make([]*tunnelEntry, 0, len(p.tunnels))
+	for _, te := range p.tunnels {
+		tunnels = append(tunnels, te)
+	}
+	relays := make([]*mqttRelay, 0, len(p.mqttConns))
+	for r := range p.mqttConns {
+		relays = append(relays, r)
+	}
+	sessions := make([]*originSession, 0, len(p.srvSessions))
+	for s := range p.srvSessions {
+		sessions = append(sessions, s)
+	}
+	p.mu.Unlock()
+
+	if takeSrv != nil {
+		takeSrv.Close()
+	}
+	p.mu.Lock()
+	quic := p.quic
+	p.mu.Unlock()
+	if quic != nil {
+		quic.Close()
+	}
+	if set != nil {
+		set.Close()
+	}
+	for _, te := range tunnels {
+		te.sess.Close()
+	}
+	for _, r := range relays {
+		r.close()
+	}
+	for _, s := range sessions {
+		s.close()
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,437 @@
+// Package quicx implements the QUIC-style UDP substrate of §4.1: a
+// datagram protocol in which every packet carries a connection ID, a
+// per-flow stateful server, and the user-space routing that lets a
+// restarting proxy keep serving its UDP flows.
+//
+// The paper's problem statement: UDP has no kernel separation between
+// listening and accepted sockets, so after Socket Takeover hands the VIP
+// socket(s) to the new process, *all* packets — including those belonging
+// to flows whose state lives in the old, draining process — arrive at the
+// new process. "The new process employs user-space routing and forwards
+// packets to the old process through a pre-configured host local
+// addresses. Decisions ... are made based on information present in each
+// UDP packet, such as connection ID." This package implements exactly
+// that: a Server with a flow table keyed by connection ID, and a
+// Forwarder that tunnels unknown-flow packets (with the original source
+// address prepended) to the draining instance's local socket.
+//
+// The package also contains ReuseportModel (reuseportmodel.go), the
+// deterministic model of the kernel's SO_REUSEPORT socket-ring flux used
+// to regenerate the mis-routing baseline of Fig. 2d and Fig. 10.
+package quicx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"zdr/internal/metrics"
+)
+
+// PacketType is the first byte of every datagram.
+type PacketType uint8
+
+// Packet types.
+const (
+	// PktInitial opens a flow: the server creates state for the conn ID.
+	PktInitial PacketType = 1
+	// PktData is a payload packet on an existing flow.
+	PktData PacketType = 2
+	// PktClose tears a flow down.
+	PktClose PacketType = 3
+	// pktForwarded wraps another packet with its original source address
+	// (used on the drain-forwarding path, never on the wire to clients).
+	pktForwarded PacketType = 9
+)
+
+// ConnID identifies a flow, present in every packet header (§4.1: "such as
+// connection ID that is present in each QUIC packet header").
+type ConnID uint64
+
+// headerLen is type(1) + connID(8).
+const headerLen = 9
+
+// maxDatagram bounds handled packets.
+const maxDatagram = 64 << 10
+
+// Packet is a parsed datagram.
+type Packet struct {
+	Type    PacketType
+	Conn    ConnID
+	Payload []byte
+}
+
+// Marshal serializes p.
+func Marshal(p Packet) []byte {
+	buf := make([]byte, headerLen+len(p.Payload))
+	buf[0] = byte(p.Type)
+	binary.BigEndian.PutUint64(buf[1:9], uint64(p.Conn))
+	copy(buf[headerLen:], p.Payload)
+	return buf
+}
+
+// Unmarshal parses a datagram.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) < headerLen {
+		return Packet{}, errors.New("quicx: short packet")
+	}
+	return Packet{
+		Type:    PacketType(b[0]),
+		Conn:    ConnID(binary.BigEndian.Uint64(b[1:9])),
+		Payload: b[headerLen:],
+	}, nil
+}
+
+// wrapForwarded encapsulates raw with the original client address.
+func wrapForwarded(raw []byte, from *net.UDPAddr) []byte {
+	addr := from.String()
+	buf := make([]byte, 1+2+len(addr)+len(raw))
+	buf[0] = byte(pktForwarded)
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(addr)))
+	copy(buf[3:], addr)
+	copy(buf[3+len(addr):], raw)
+	return buf
+}
+
+// unwrapForwarded reverses wrapForwarded.
+func unwrapForwarded(b []byte) (raw []byte, from *net.UDPAddr, err error) {
+	if len(b) < 3 || PacketType(b[0]) != pktForwarded {
+		return nil, nil, errors.New("quicx: not a forwarded packet")
+	}
+	n := int(binary.BigEndian.Uint16(b[1:3]))
+	if len(b) < 3+n {
+		return nil, nil, errors.New("quicx: truncated forwarded packet")
+	}
+	addr, err := net.ResolveUDPAddr("udp", string(b[3:3+n]))
+	if err != nil {
+		return nil, nil, err
+	}
+	return b[3+n:], addr, nil
+}
+
+// Handler processes a flow packet and returns an optional reply payload.
+type Handler func(conn ConnID, payload []byte) (reply []byte)
+
+// Server is a connection-ID-routed UDP server. One Server represents one
+// proxy instance's UDP stack; during a restart two Servers (old draining,
+// new active) cooperate via forwarding.
+type Server struct {
+	name string
+	reg  *metrics.Registry
+
+	handler Handler
+
+	mu    sync.Mutex
+	flows map[ConnID]*net.UDPAddr // flow state: conn -> last client addr
+	// forwardTo, when set, is where packets for unknown flows are
+	// tunneled (the draining instance's local address). Nil means no
+	// forwarding: unknown-flow data packets count as misrouted.
+	forwardTo *net.UDPAddr
+	// acceptNew is false while draining: PktInitial is NOT handled
+	// (the new instance owns new flows).
+	acceptNew bool
+	// drainMain tells the VIP read loop to exit: after takeover the new
+	// instance reads the shared socket; this instance only writes replies
+	// through its still-open handle.
+	drainMain bool
+	closed    bool
+
+	// sockets
+	main *net.UDPConn // the VIP socket (shared across takeover)
+	fwd  *net.UDPConn // host-local forward receive socket (drain side)
+
+	wg sync.WaitGroup
+}
+
+// NewServer creates a server for the given VIP socket. reg may be nil.
+func NewServer(name string, vip *net.UDPConn, handler Handler, reg *metrics.Registry) *Server {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Server{
+		name:      name,
+		reg:       reg,
+		handler:   handler,
+		flows:     make(map[ConnID]*net.UDPAddr),
+		acceptNew: true,
+		main:      vip,
+	}
+}
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Start begins reading the VIP socket.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.readLoop(s.main, false)
+	}()
+}
+
+// FlowCount returns the number of live flows.
+func (s *Server) FlowCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flows)
+}
+
+// SetForward directs unknown-flow packets to addr (the draining
+// instance's forward socket). Passing nil disables forwarding.
+func (s *Server) SetForward(addr *net.UDPAddr) {
+	s.mu.Lock()
+	s.forwardTo = addr
+	s.mu.Unlock()
+}
+
+// PrepareDrain binds the host-local forward socket ahead of time and
+// returns its address — the paper's "pre-configured host local address"
+// that the new instance is told about during the hand-off (it rides in
+// the takeover manifest metadata). Idempotent.
+func (s *Server) PrepareDrain() (*net.UDPAddr, error) {
+	s.mu.Lock()
+	if s.fwd != nil {
+		addr := s.fwd.LocalAddr().(*net.UDPAddr)
+		s.mu.Unlock()
+		return addr, nil
+	}
+	s.mu.Unlock()
+	fwd, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("quicx: bind forward socket: %w", err)
+	}
+	s.mu.Lock()
+	if s.fwd != nil { // raced; keep the first
+		addr := s.fwd.LocalAddr().(*net.UDPAddr)
+		s.mu.Unlock()
+		fwd.Close()
+		return addr, nil
+	}
+	s.fwd = fwd
+	s.mu.Unlock()
+	return fwd.LocalAddr().(*net.UDPAddr), nil
+}
+
+// StartDraining puts the server in drain mode: it stops reading the VIP
+// socket conceptually (the caller hands the socket to the new instance;
+// this server keeps serving existing flows via its forward socket and
+// writes replies through its still-shared copy of the VIP socket). It
+// returns the local forward address the new instance should tunnel to.
+func (s *Server) StartDraining() (*net.UDPAddr, error) {
+	fwdAddr, err := s.PrepareDrain()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	fwd := s.fwd
+	alreadyDraining := s.drainMain
+	s.mu.Unlock()
+	if alreadyDraining {
+		return fwdAddr, nil
+	}
+	s.mu.Lock()
+	s.acceptNew = false
+	s.drainMain = true
+	s.mu.Unlock()
+	// Kick the blocked VIP read so the loop observes drainMain. Reads stop;
+	// writes through the shared socket are unaffected.
+	s.main.SetReadDeadline(time.Now())
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.readLoop(fwd, true)
+	}()
+	return fwdAddr, nil
+}
+
+// Close stops the server. The VIP socket is closed too (harmless post-
+// takeover: the FD is shared, and net.UDPConn.Close only drops this
+// handle's reference).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	fwd := s.fwd
+	s.mu.Unlock()
+	s.main.Close()
+	if fwd != nil {
+		fwd.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) readLoop(conn *net.UDPConn, forwarded bool) {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if !forwarded {
+				s.mu.Lock()
+				drain := s.drainMain
+				s.mu.Unlock()
+				if drain {
+					return // hand the VIP socket's read side to the new instance
+				}
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					continue // spurious deadline; keep serving
+				}
+			}
+			return
+		}
+		raw := make([]byte, n)
+		copy(raw, buf[:n])
+		if forwarded {
+			inner, origFrom, err := unwrapForwarded(raw)
+			if err != nil {
+				s.reg.Counter("quicx.forward.bad").Inc()
+				continue
+			}
+			s.handlePacket(inner, origFrom)
+			continue
+		}
+		s.handlePacket(raw, from)
+	}
+}
+
+func (s *Server) handlePacket(raw []byte, from *net.UDPAddr) {
+	p, err := Unmarshal(raw)
+	if err != nil {
+		s.reg.Counter("quicx.malformed").Inc()
+		return
+	}
+	s.reg.Counter("quicx.rx").Inc()
+	switch p.Type {
+	case PktInitial:
+		s.mu.Lock()
+		accept := s.acceptNew
+		if accept {
+			s.flows[p.Conn] = from
+		}
+		fwdTo := s.forwardTo
+		s.mu.Unlock()
+		if !accept {
+			// Draining instance: new flows belong to the new instance.
+			// With user-space routing this shouldn't happen (the new
+			// instance reads the VIP), but a forwarding loop guard
+			// matters: count and drop.
+			s.reg.Counter("quicx.initial.while.draining").Inc()
+			_ = fwdTo
+			return
+		}
+		s.reg.Counter("quicx.flows.opened").Inc()
+		s.reply(p.Conn, from, s.handler(p.Conn, p.Payload))
+	case PktData:
+		s.mu.Lock()
+		addr, known := s.flows[p.Conn]
+		fwdTo := s.forwardTo
+		s.mu.Unlock()
+		if !known {
+			if fwdTo != nil {
+				// User-space routing (§4.1): tunnel to the draining
+				// instance, preserving the client address.
+				if _, err := s.main.WriteToUDP(wrapForwarded(raw, from), fwdTo); err == nil {
+					s.reg.Counter("quicx.forwarded").Inc()
+					return
+				}
+			}
+			// No state and nowhere to forward: this is a mis-routed
+			// packet — the client's flow state is gone.
+			s.reg.Counter("quicx.misrouted").Inc()
+			return
+		}
+		if addr.String() != from.String() {
+			// Client migrated (NAT rebind); update like QUIC does.
+			s.mu.Lock()
+			s.flows[p.Conn] = from
+			s.mu.Unlock()
+		}
+		s.reply(p.Conn, from, s.handler(p.Conn, p.Payload))
+	case PktClose:
+		s.mu.Lock()
+		_, known := s.flows[p.Conn]
+		delete(s.flows, p.Conn)
+		s.mu.Unlock()
+		if known {
+			s.reg.Counter("quicx.flows.closed").Inc()
+		}
+	default:
+		s.reg.Counter("quicx.malformed").Inc()
+	}
+}
+
+func (s *Server) reply(conn ConnID, to *net.UDPAddr, payload []byte) {
+	if payload == nil {
+		return
+	}
+	if _, err := s.main.WriteToUDP(Marshal(Packet{Type: PktData, Conn: conn, Payload: payload}), to); err == nil {
+		s.reg.Counter("quicx.tx").Inc()
+	}
+}
+
+// Client is a minimal flow client for tests and experiments.
+type Client struct {
+	conn net.Conn
+	id   ConnID
+}
+
+// Dial opens a UDP "connection" to addr with the given conn ID.
+func Dial(addr string, id ConnID) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, id: id}, nil
+}
+
+// ID returns the client's connection ID.
+func (c *Client) ID() ConnID { return c.id }
+
+// Open sends PktInitial and waits for the handshake reply.
+func (c *Client) Open(payload []byte, timeout time.Duration) ([]byte, error) {
+	return c.roundTrip(PktInitial, payload, timeout)
+}
+
+// Send sends PktData and waits for the reply.
+func (c *Client) Send(payload []byte, timeout time.Duration) ([]byte, error) {
+	return c.roundTrip(PktData, payload, timeout)
+}
+
+// SendNoReply fires a data packet without waiting.
+func (c *Client) SendNoReply(payload []byte) error {
+	_, err := c.conn.Write(Marshal(Packet{Type: PktData, Conn: c.id, Payload: payload}))
+	return err
+}
+
+// Close sends PktClose and releases the socket.
+func (c *Client) Close() error {
+	c.conn.Write(Marshal(Packet{Type: PktClose, Conn: c.id}))
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(t PacketType, payload []byte, timeout time.Duration) ([]byte, error) {
+	if _, err := c.conn.Write(Marshal(Packet{Type: t, Conn: c.id, Payload: payload})); err != nil {
+		return nil, err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, maxDatagram)
+	n, err := c.conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Unmarshal(buf[:n])
+	if err != nil {
+		return nil, err
+	}
+	if p.Conn != c.id {
+		return nil, fmt.Errorf("quicx: reply for conn %d, want %d", p.Conn, c.id)
+	}
+	return p.Payload, nil
+}

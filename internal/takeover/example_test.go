@@ -1,0 +1,44 @@
+package takeover_test
+
+import (
+	"fmt"
+
+	"zdr/internal/netx"
+	"zdr/internal/takeover"
+)
+
+// Example performs a complete in-process Socket Takeover: the "old
+// instance" binds two VIPs and hands them to the "new instance" over a
+// socketpair; the sockets are never closed.
+func Example() {
+	old, err := takeover.Listen(
+		takeover.VIP{Name: "web", Network: takeover.NetworkTCP, Addr: "127.0.0.1:0"},
+		takeover.VIP{Name: "quic", Network: takeover.NetworkUDP, Addr: "127.0.0.1:0"},
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer old.Close()
+
+	a, b, err := netx.SocketPair()
+	if err != nil {
+		panic(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	go takeover.Handoff(a, old, 0)
+	adopted, res, err := takeover.Receive(b, 0)
+	if err != nil {
+		panic(err)
+	}
+	defer adopted.Close()
+
+	fmt.Println("vips:", len(res.VIPs))
+	fmt.Println("orphans:", res.OrphanedFDs)
+	fmt.Println("same address:", adopted.TCP("web").Addr().String() == old.TCP("web").Addr().String())
+	// Output:
+	// vips: 2
+	// orphans: 0
+	// same address: true
+}

@@ -1,0 +1,655 @@
+// Package takeover implements Socket Takeover (§4.1): zero-downtime restart
+// of an L7 proxy by passing every listening-socket file descriptor from the
+// running (old) instance to a freshly spun (new) instance over a UNIX
+// domain socket, using sendmsg(2) with SCM_RIGHTS ancillary data.
+//
+// The workflow follows Fig. 5 of the paper:
+//
+//	(A) The old instance, already bound and accepting on all VIP sockets,
+//	    spawns a takeover server bound to a pre-specified path; the new
+//	    instance starts and connects to it.
+//	(B) The takeover server sends the list of FDs it has bound — TCP
+//	    listeners and UDP packet sockets, one entry per VIP — with
+//	    sendmsg() and SCM_RIGHTS.
+//	(C) The new instance listens on the VIPs corresponding to the FDs
+//	    (reconstructing net.Listener/net.UDPConn values from them).
+//	(D) The new instance confirms to the old server so it can start
+//	    draining existing connections.
+//	(E) On confirmation, the old instance stops handling new connections
+//	    and drains.
+//	(F) The new instance takes over health-check responsibility.
+//
+// Because the FDs are shared file-table entries, the listening sockets are
+// never closed during the restart: TCP SYNs continue to be queued and UDP
+// packets continue to be delivered, no matter which instant the restart is
+// observed at. The kernel socket ring for SO_REUSEPORT VIPs is unchanged
+// (no entries added or purged), which is what eliminates the mis-routing
+// flux of Fig. 2d.
+//
+// §5.1 pitfalls are handled explicitly:
+//
+//   - Orphaned FDs: the receiving side must act on every FD it was sent —
+//     either adopt it or close it. Entries the receiver does not recognise
+//     are closed and counted in Result.OrphanedFDs rather than silently
+//     leaked (a leak leaves a live socket whose accept queue nobody drains,
+//     which manifests as user-facing timeouts).
+//   - A magic protocol header and version byte guard against a
+//     mis-deployed peer speaking something else on the socket.
+package takeover
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"zdr/internal/netx"
+)
+
+// Network names for VIP entries.
+const (
+	NetworkTCP = "tcp"
+	NetworkUDP = "udp"
+)
+
+// protocol constants.
+const (
+	magic       = 0x5a44 // "ZD"
+	version     = 1
+	maxManifest = 1 << 20
+
+	msgManifest = 1
+	msgAck      = 2
+	msgFDChunk  = 3
+
+	// fdsPerFrame bounds descriptors per sendmsg; Linux caps SCM_RIGHTS
+	// at 253 per message, and netx enforces its own lower bound. Larger
+	// VIP sets are split across continuation frames.
+	fdsPerFrame = 64
+)
+
+// DefaultHandshakeTimeout bounds each protocol step.
+const DefaultHandshakeTimeout = 5 * time.Second
+
+// VIP describes one service address (Virtual IP) the proxy serves.
+type VIP struct {
+	// Name identifies the VIP (e.g. "https", "quic"). Names must be
+	// unique within a ListenerSet.
+	Name string `json:"name"`
+	// Network is NetworkTCP or NetworkUDP.
+	Network string `json:"network"`
+	// Addr is the bind address, e.g. "127.0.0.1:8443".
+	Addr string `json:"addr"`
+}
+
+type entry struct {
+	vip VIP
+	ln  *net.TCPListener
+	pc  *net.UDPConn
+}
+
+// ListenerSet is an ordered collection of bound VIP sockets. It is the unit
+// Socket Takeover transfers.
+type ListenerSet struct {
+	mu      sync.Mutex
+	entries []entry
+}
+
+// NewListenerSet returns an empty set.
+func NewListenerSet() *ListenerSet { return &ListenerSet{} }
+
+// Listen binds all the given VIPs (with SO_REUSEPORT) and returns the set.
+// On error, any sockets bound so far are closed.
+func Listen(vips ...VIP) (*ListenerSet, error) {
+	s := NewListenerSet()
+	for _, v := range vips {
+		var err error
+		switch v.Network {
+		case NetworkTCP:
+			var ln *net.TCPListener
+			ln, err = netx.ListenTCPReusePort(v.Addr)
+			if err == nil {
+				err = s.AddTCP(v.Name, ln)
+			}
+		case NetworkUDP:
+			var pc *net.UDPConn
+			pc, err = netx.ListenUDPReusePort(v.Addr)
+			if err == nil {
+				err = s.AddUDP(v.Name, pc)
+			}
+		default:
+			err = fmt.Errorf("takeover: unknown network %q", v.Network)
+		}
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// AddTCP registers an already-bound TCP listener under name.
+func (s *ListenerSet) AddTCP(name string, ln *net.TCPListener) error {
+	return s.add(entry{vip: VIP{Name: name, Network: NetworkTCP, Addr: ln.Addr().String()}, ln: ln})
+}
+
+// AddUDP registers an already-bound UDP socket under name.
+func (s *ListenerSet) AddUDP(name string, pc *net.UDPConn) error {
+	return s.add(entry{vip: VIP{Name: name, Network: NetworkUDP, Addr: pc.LocalAddr().String()}, pc: pc})
+}
+
+func (s *ListenerSet) add(e entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.entries {
+		if have.vip.Name == e.vip.Name {
+			return fmt.Errorf("takeover: duplicate VIP name %q", e.vip.Name)
+		}
+	}
+	s.entries = append(s.entries, e)
+	return nil
+}
+
+// TCP returns the listener registered under name, or nil.
+func (s *ListenerSet) TCP(name string) *net.TCPListener {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.vip.Name == name && e.ln != nil {
+			return e.ln
+		}
+	}
+	return nil
+}
+
+// UDP returns the packet socket registered under name, or nil.
+func (s *ListenerSet) UDP(name string) *net.UDPConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if e.vip.Name == name && e.pc != nil {
+			return e.pc
+		}
+	}
+	return nil
+}
+
+// VIPs returns the VIP descriptors in registration order.
+func (s *ListenerSet) VIPs() []VIP {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]VIP, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.vip
+	}
+	return out
+}
+
+// Len returns the number of registered VIP sockets.
+func (s *ListenerSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// CloseTCP closes only the TCP listener handles, leaving UDP sockets
+// open. A draining instance uses this: closing its TCP handles stops its
+// accept loops (the shared sockets stay alive in the new instance), while
+// its UDP handles must stay open so user-space-routed replies to draining
+// flows can still be written through the shared socket (§4.1).
+func (s *ListenerSet) CloseTCP() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if e.ln != nil {
+			if err := e.ln.Close(); err != nil && first == nil {
+				first = err
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.entries = kept
+	return first
+}
+
+// Close closes every socket in the set, returning the first error.
+func (s *ListenerSet) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, e := range s.entries {
+		var err error
+		if e.ln != nil {
+			err = e.ln.Close()
+		}
+		if e.pc != nil {
+			err = e.pc.Close()
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	s.entries = nil
+	return first
+}
+
+// fds extracts duplicated FDs for every entry, in order. Caller owns them.
+func (s *ListenerSet) fds() ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fds := make([]int, 0, len(s.entries))
+	closeAll := func() {
+		for _, fd := range fds {
+			syscall.Close(fd)
+		}
+	}
+	for _, e := range s.entries {
+		var fd int
+		var err error
+		if e.ln != nil {
+			fd, err = netx.ListenerFD(e.ln)
+		} else {
+			fd, err = netx.PacketConnFD(e.pc)
+		}
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		fds = append(fds, fd)
+	}
+	return fds, nil
+}
+
+// manifest is the wire payload accompanying the FDs.
+type manifest struct {
+	Magic   uint16 `json:"magic"`
+	Version uint8  `json:"version"`
+	VIPs    []VIP  `json:"vips"`
+	// Meta carries side-band hand-off data the new instance needs before
+	// serving — e.g. the old instance's pre-configured host-local UDP
+	// forwarding address for user-space routing of draining flows (§4.1).
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// ack is the confirmation from the new instance (step D).
+type ack struct {
+	OK      bool   `json:"ok"`
+	Adopted int    `json:"adopted"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Result summarises a completed hand-off, from the sender's perspective
+// (Handoff) or receiver's (Receive).
+type Result struct {
+	// VIPs transferred, in order.
+	VIPs []VIP
+	// Meta is the sender's side-band hand-off data (receiver side).
+	Meta map[string]string
+	// OrphanedFDs counts descriptors the receiver closed because it did
+	// not adopt them (receiver side only).
+	OrphanedFDs int
+	// Duration is the wall time of the protocol exchange.
+	Duration time.Duration
+}
+
+var (
+	// ErrRejected is returned by Handoff when the new instance refused
+	// the socket set.
+	ErrRejected = errors.New("takeover: peer rejected hand-off")
+	// ErrBadMagic indicates the peer is not speaking the takeover
+	// protocol (§5.1: guard against a mis-deployed binary).
+	ErrBadMagic = errors.New("takeover: bad protocol magic")
+)
+
+func writeFrame(conn *net.UnixConn, kind byte, payload []byte, fds []int) error {
+	hdr := make([]byte, 5+len(payload))
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	copy(hdr[5:], payload)
+	return netx.WriteFDs(conn, hdr, fds)
+}
+
+func readFrame(conn *net.UnixConn) (kind byte, payload []byte, fds []int, err error) {
+	// A single recvmsg returns the whole datagram-ish frame because the
+	// sender issues exactly one sendmsg per frame and frames are far below
+	// the socket buffer size. SOCK_STREAM may still split, so loop for the
+	// declared payload length.
+	buf := make([]byte, maxManifest)
+	data, fds, err := netx.ReadFDs(conn, buf)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if len(data) < 5 {
+		closeFDs(fds)
+		return 0, nil, nil, fmt.Errorf("takeover: short frame (%d bytes)", len(data))
+	}
+	kind = data[0]
+	want := int(binary.BigEndian.Uint32(data[1:5]))
+	if want > maxManifest {
+		closeFDs(fds)
+		return 0, nil, nil, fmt.Errorf("takeover: oversized frame (%d bytes)", want)
+	}
+	payload = data[5:]
+	for len(payload) < want {
+		n, err := conn.Read(buf)
+		if err != nil {
+			closeFDs(fds)
+			return 0, nil, nil, err
+		}
+		payload = append(payload, buf[:n]...)
+	}
+	if len(payload) != want {
+		closeFDs(fds)
+		return 0, nil, nil, fmt.Errorf("takeover: frame length mismatch: %d != %d", len(payload), want)
+	}
+	return kind, payload, fds, nil
+}
+
+func closeFDs(fds []int) {
+	for _, fd := range fds {
+		syscall.Close(fd)
+	}
+}
+
+// Handoff runs the sender side (old instance) of the takeover protocol on
+// an established UNIX socket connection: it sends the manifest and FDs for
+// every socket in set, then waits for the new instance's confirmation.
+// A nil timeout means DefaultHandshakeTimeout.
+//
+// On success the old instance should stop accepting new connections and
+// begin draining (step E); its copies of the listening sockets remain open
+// until it exits, which is harmless because both instances share the file
+// table entries.
+func Handoff(conn *net.UnixConn, set *ListenerSet, timeout time.Duration) (*Result, error) {
+	return HandoffMeta(conn, set, nil, timeout)
+}
+
+// HandoffMeta is Handoff with side-band metadata delivered to the
+// receiver's Result.Meta.
+func HandoffMeta(conn *net.UnixConn, set *ListenerSet, meta map[string]string, timeout time.Duration) (*Result, error) {
+	if timeout <= 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	start := time.Now()
+	deadline := start.Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	defer conn.SetDeadline(time.Time{})
+
+	m := manifest{Magic: magic, Version: version, VIPs: set.VIPs(), Meta: meta}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	fds, err := set.fds()
+	if err != nil {
+		return nil, err
+	}
+	defer closeFDs(fds) // our dups; receiver has its own after sendmsg
+	first := fds
+	if len(first) > fdsPerFrame {
+		first = first[:fdsPerFrame]
+	}
+	if err := writeFrame(conn, msgManifest, payload, first); err != nil {
+		return nil, err
+	}
+	// Continuation frames for large VIP sets.
+	for off := fdsPerFrame; off < len(fds); off += fdsPerFrame {
+		end := off + fdsPerFrame
+		if end > len(fds) {
+			end = len(fds)
+		}
+		if err := writeFrame(conn, msgFDChunk, nil, fds[off:end]); err != nil {
+			return nil, err
+		}
+	}
+
+	kind, ackPayload, stray, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("takeover: waiting for confirmation: %w", err)
+	}
+	closeFDs(stray)
+	if kind != msgAck {
+		return nil, fmt.Errorf("takeover: expected ack, got frame kind %d", kind)
+	}
+	var a ack
+	if err := json.Unmarshal(ackPayload, &a); err != nil {
+		return nil, fmt.Errorf("takeover: bad ack: %w", err)
+	}
+	if !a.OK {
+		return nil, fmt.Errorf("%w: %s", ErrRejected, a.Err)
+	}
+	return &Result{VIPs: m.VIPs, Duration: time.Since(start)}, nil
+}
+
+// Receive runs the receiver side (new instance): it reads the manifest and
+// FDs, reconstructs a ListenerSet, closes any FD it cannot adopt (orphan
+// prevention, §5.1), and confirms to the old instance.
+func Receive(conn *net.UnixConn, timeout time.Duration) (*ListenerSet, *Result, error) {
+	if timeout <= 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	start := time.Now()
+	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
+		return nil, nil, err
+	}
+	defer conn.SetDeadline(time.Time{})
+
+	kind, payload, fds, err := readFrame(conn)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind != msgManifest {
+		closeFDs(fds)
+		return nil, nil, fmt.Errorf("takeover: expected manifest, got frame kind %d", kind)
+	}
+	var m manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		closeFDs(fds)
+		return nil, nil, fmt.Errorf("takeover: bad manifest: %w", err)
+	}
+	if m.Magic != magic {
+		closeFDs(fds)
+		sendAck(conn, ack{OK: false, Err: "bad magic"})
+		return nil, nil, ErrBadMagic
+	}
+	if m.Version != version {
+		closeFDs(fds)
+		sendAck(conn, ack{OK: false, Err: fmt.Sprintf("unsupported version %d", m.Version)})
+		return nil, nil, fmt.Errorf("takeover: unsupported protocol version %d", m.Version)
+	}
+	// Collect continuation frames until every declared VIP has its FD. A
+	// sender that declared more VIPs than it attached FDs for never sends
+	// a continuation; bound the wait so the mismatch surfaces as the
+	// missing-FDs error below rather than a hang.
+	for len(fds) < len(m.VIPs) && len(fds) >= fdsPerFrame && len(fds)%fdsPerFrame == 0 {
+		kind, _, more, err := readFrame(conn)
+		if err != nil {
+			sendAck(conn, ack{OK: false, Err: "fd continuation: " + err.Error()})
+			closeFDs(fds)
+			return nil, nil, fmt.Errorf("takeover: reading fd continuation: %w", err)
+		}
+		if kind != msgFDChunk {
+			closeFDs(fds)
+			closeFDs(more)
+			sendAck(conn, ack{OK: false, Err: "unexpected frame during fd transfer"})
+			return nil, nil, fmt.Errorf("takeover: expected fd chunk, got frame kind %d", kind)
+		}
+		if len(more) == 0 {
+			break
+		}
+		fds = append(fds, more...)
+	}
+
+	set := NewListenerSet()
+	orphans := 0
+	var firstErr error
+	for i, fd := range fds {
+		if i >= len(m.VIPs) {
+			// More FDs than manifest entries: close the strays rather
+			// than leak live sockets (§5.1).
+			syscall.Close(fd)
+			orphans++
+			continue
+		}
+		v := m.VIPs[i]
+		var err error
+		switch v.Network {
+		case NetworkTCP:
+			var ln *net.TCPListener
+			ln, err = netx.ListenerFromFD(fd, v.Name)
+			if err == nil {
+				err = set.AddTCP(v.Name, ln)
+				if err != nil {
+					ln.Close()
+				}
+			}
+		case NetworkUDP:
+			var pc *net.UDPConn
+			pc, err = netx.PacketConnFromFD(fd, v.Name)
+			if err == nil {
+				err = set.AddUDP(v.Name, pc)
+				if err != nil {
+					pc.Close()
+				}
+			}
+		default:
+			syscall.Close(fd)
+			err = fmt.Errorf("takeover: vip %q has unknown network %q", v.Name, v.Network)
+		}
+		if err != nil {
+			orphans++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if len(fds) < len(m.VIPs) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("takeover: manifest lists %d vips but only %d fds arrived", len(m.VIPs), len(fds))
+		}
+	}
+	if firstErr != nil {
+		set.Close()
+		sendAck(conn, ack{OK: false, Err: firstErr.Error()})
+		return nil, nil, firstErr
+	}
+	if err := sendAck(conn, ack{OK: true, Adopted: set.Len()}); err != nil {
+		set.Close()
+		return nil, nil, err
+	}
+	return set, &Result{VIPs: m.VIPs, Meta: m.Meta, OrphanedFDs: orphans, Duration: time.Since(start)}, nil
+}
+
+func sendAck(conn *net.UnixConn, a ack) error {
+	payload, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, msgAck, payload, nil)
+}
+
+// Server is the takeover server the old instance spawns (step A). It
+// listens on a filesystem path and performs one hand-off per accepted
+// connection.
+type Server struct {
+	// Set is the listener set to transfer.
+	Set *ListenerSet
+	// Meta is side-band hand-off data sent with the manifest (e.g. the
+	// UDP user-space-routing forward address).
+	Meta map[string]string
+	// OnDrainStart, if non-nil, is invoked after a successful hand-off —
+	// the point at which the old instance must stop accepting and start
+	// draining (step E).
+	OnDrainStart func(Result)
+	// HandshakeTimeout bounds each hand-off; zero means the default.
+	HandshakeTimeout time.Duration
+
+	mu sync.Mutex
+	ul *net.UnixListener
+}
+
+// ListenAndServe binds the pre-specified UNIX path and serves hand-offs
+// until Close. It removes a stale socket file first.
+func (s *Server) ListenAndServe(path string) error {
+	if err := removeStaleSocket(path); err != nil {
+		return err
+	}
+	ul, err := net.ListenUnix("unix", &net.UnixAddr{Name: path, Net: "unix"})
+	if err != nil {
+		return fmt.Errorf("takeover: listen %s: %w", path, err)
+	}
+	s.mu.Lock()
+	s.ul = ul
+	s.mu.Unlock()
+	defer s.Close() // release the path so the next generation can bind it
+	for {
+		conn, err := ul.AcceptUnix()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		res, err := HandoffMeta(conn, s.Set, s.Meta, s.HandshakeTimeout)
+		conn.Close()
+		if err != nil {
+			// A failed hand-off leaves this instance fully in charge;
+			// keep serving so a retried deploy can connect again.
+			continue
+		}
+		if s.OnDrainStart != nil {
+			s.OnDrainStart(*res)
+		}
+		return nil
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ul != nil {
+		err := s.ul.Close()
+		s.ul = nil
+		return err
+	}
+	return nil
+}
+
+// Connect dials the old instance's takeover server at path and receives
+// the socket set (steps B–D, receiver side).
+func Connect(path string, timeout time.Duration) (*ListenerSet, *Result, error) {
+	if timeout <= 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	d := net.Dialer{Timeout: timeout}
+	c, err := d.Dial("unix", path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("takeover: connect %s: %w", path, err)
+	}
+	conn := c.(*net.UnixConn)
+	defer conn.Close()
+	return Receive(conn, timeout)
+}
+
+func removeStaleSocket(path string) error {
+	if _, err := os.Stat(path); err == nil {
+		// Only remove if nothing is listening (stale from a crash).
+		if c, err := net.DialTimeout("unix", path, 100*time.Millisecond); err == nil {
+			c.Close()
+			return fmt.Errorf("takeover: %s already has a live server", path)
+		}
+		return os.Remove(path)
+	}
+	return nil
+}
