@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"zdr/internal/faults"
 	"zdr/internal/proxy"
 )
 
@@ -115,14 +117,10 @@ func main() {
 // serveTakeoverWithRetry absorbs the window in which the previous
 // generation's takeover server is still releasing the socket path.
 func serveTakeoverWithRetry(p *proxy.Proxy, path string) error {
-	var err error
-	for i := 0; i < 50; i++ {
-		if err = p.ServeTakeover(path); err == nil {
-			return nil
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	return err
+	bo := faults.Backoff{Base: 50 * time.Millisecond, Max: 250 * time.Millisecond, Factor: 2, Attempts: 20}
+	return bo.Retry(context.Background(), func() error {
+		return p.ServeTakeover(path)
+	})
 }
 
 func split(s string) []string {

@@ -20,15 +20,24 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"zdr/internal/appserver"
+	"zdr/internal/faults"
 	"zdr/internal/metrics"
 	"zdr/internal/proxy"
 )
+
+// ErrTakeoverNotArmed reports a partially successful restart: the new
+// generation owns the sockets and is serving, but its takeover server
+// could not bind the slot path, so the NEXT release cannot reach it.
+// Traffic is fine; the slot is not releasable until RearmTakeover
+// succeeds. Test with errors.Is.
+var ErrTakeoverNotArmed = errors.New("core: new generation serving but takeover server not armed")
 
 // Restartable is one release target.
 type Restartable interface {
@@ -51,10 +60,16 @@ type ProxySlot struct {
 	// DrainWait is how long the old generation drains before termination.
 	// Zero uses the old generation's own Shutdown default asynchronously.
 	DrainWait time.Duration
+	// RearmBackoff paces the new generation's attempts to re-bind the
+	// takeover path after a hand-off (the old generation's server tears
+	// its socket down asynchronously). The zero value uses the faults
+	// package defaults (20ms base, doubling, 500ms cap, 10 attempts).
+	RearmBackoff faults.Backoff
 
-	mu  sync.Mutex
-	cur *proxy.Proxy
-	gen int
+	mu     sync.Mutex
+	cur    *proxy.Proxy
+	gen    int
+	armErr error // last takeover-server arming failure (nil = armed)
 }
 
 // Start brings up the first generation.
@@ -122,21 +137,64 @@ func (s *ProxySlot) Restart() error {
 	}(old)
 	// New generation stands up its own takeover server for the release
 	// after this one. The old generation's server closed its socket after
-	// the hand-off; retry briefly to absorb that teardown.
-	var err error
-	for i := 0; i < 20; i++ {
-		if err = next.ServeTakeover(s.Path); err == nil {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	if err != nil {
-		return fmt.Errorf("core: new generation cannot arm takeover server: %w", err)
-	}
+	// the hand-off; backoff absorbs that teardown.
+	return s.promote(next)
+}
+
+// promote records next as the serving generation and arms its takeover
+// server. next already owns the sockets at this point, so it is promoted
+// even if arming fails — the alternative (an error pointing at a
+// draining, soon-to-die generation) would strand the slot. An arming
+// failure is surfaced via ErrTakeoverNotArmed and is recoverable with
+// RearmTakeover.
+func (s *ProxySlot) promote(next *proxy.Proxy) error {
+	armErr := s.RearmBackoff.Retry(context.Background(), func() error {
+		return next.ServeTakeover(s.Path)
+	})
 	s.mu.Lock()
 	s.cur = next
 	s.gen++
+	gen := s.gen
+	s.armErr = armErr
 	s.mu.Unlock()
+	if armErr != nil {
+		return fmt.Errorf("%w (gen %d serves traffic; retry with RearmTakeover): %v", ErrTakeoverNotArmed, gen, armErr)
+	}
+	return nil
+}
+
+// TakeoverArmed reports whether the serving generation has a takeover
+// server bound on the slot path (i.e. the slot is releasable).
+func (s *ProxySlot) TakeoverArmed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur != nil && s.armErr == nil
+}
+
+// RearmTakeover retries arming the serving generation's takeover server
+// after a Restart returned ErrTakeoverNotArmed. It is a no-op when the
+// server is already armed.
+func (s *ProxySlot) RearmTakeover() error {
+	s.mu.Lock()
+	cur, armErr := s.cur, s.armErr
+	s.mu.Unlock()
+	if cur == nil {
+		return errors.New("core: slot not started")
+	}
+	if armErr == nil {
+		return nil
+	}
+	err := s.RearmBackoff.Retry(context.Background(), func() error {
+		return cur.ServeTakeover(s.Path)
+	})
+	s.mu.Lock()
+	if s.cur == cur {
+		s.armErr = err
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrTakeoverNotArmed, err)
+	}
 	return nil
 }
 
@@ -177,21 +235,7 @@ func (s *ProxySlot) RestartFresh(build func(vipAddrs map[string]string) *proxy.P
 		}
 		old.Shutdown()
 	}(old)
-	var err error
-	for i := 0; i < 20; i++ {
-		if err = next.ServeTakeover(s.Path); err == nil {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	if err != nil {
-		return fmt.Errorf("core: new generation cannot arm takeover server: %w", err)
-	}
-	s.mu.Lock()
-	s.cur = next
-	s.gen++
-	s.mu.Unlock()
-	return nil
+	return s.promote(next)
 }
 
 // Close shuts the current generation down.
@@ -211,6 +255,9 @@ type AppServerSlot struct {
 	SlotName string
 	// Build constructs the next generation.
 	Build func() *appserver.Server
+	// BindBackoff paces the new generation's attempts to re-bind the
+	// address the old generation is releasing. Zero value = defaults.
+	BindBackoff faults.Backoff
 
 	mu   sync.Mutex
 	cur  *appserver.Server
@@ -274,13 +321,10 @@ func (s *AppServerSlot) Restart() error {
 	}
 	old.Shutdown()
 	next := s.Build()
-	var err error
-	for i := 0; i < 50; i++ {
-		if _, err = next.Listen(addr); err == nil {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	err := s.BindBackoff.Retry(context.Background(), func() error {
+		_, e := next.Listen(addr)
+		return e
+	})
 	if err != nil {
 		return fmt.Errorf("core: new generation cannot bind %s: %w", addr, err)
 	}

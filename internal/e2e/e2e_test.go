@@ -236,6 +236,141 @@ func TestCrossProcessTakeover(t *testing.T) {
 	}
 }
 
+// TestCrossProcessTakeoverAbort is the §5.1 crash window across a real
+// process boundary: a "new generation" dials the takeover path, takes
+// part of the hand-off, and dies before the ACK. The running process must
+// roll back — stay active, keep serving, count the abort in its STATS
+// dump — and a real second-generation process must then take over cleanly.
+func TestCrossProcessTakeoverAbort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	dir := t.TempDir()
+	addrs := freeAddrs(t, 2)
+	webAddr, healthAddr := addrs[0], addrs[1]
+	takeoverPath := filepath.Join(dir, "edge.sock")
+
+	common := []string{
+		"-role", "edge",
+		"-origin", "127.0.0.1:1", // static-only edge; origin never dialed
+		"-web", webAddr, "-health", healthAddr,
+		"-drain", "500ms",
+		"-takeover-path", takeoverPath,
+	}
+	gen1 := startProxy(t, filepath.Join(dir, "gen1.log"), append([]string{"-name", "gen1"}, common...)...)
+	gen1.waitOutput(t, "takeover path", 5*time.Second)
+
+	var served, failed atomic.Int64
+	stop := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			conn, err := net.DialTimeout("tcp", webAddr, 2*time.Second)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", "/x", nil, 0)); err != nil {
+				failed.Add(1)
+				conn.Close()
+				return
+			}
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			resp, err := http1.ReadResponse(bufio.NewReader(conn))
+			if err != nil {
+				failed.Add(1)
+				conn.Close()
+				return
+			}
+			http1.ReadFullBody(resp.Body)
+			conn.Close()
+			served.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+
+	// The dying receiver: this TEST process connects to the takeover
+	// path, reads the start of the manifest — the moment the FDs are in
+	// flight — and slams the connection shut without ACKing.
+	crash, err := net.Dial("unix", takeoverPath)
+	if err != nil {
+		t.Fatalf("dialing takeover path: %v", err)
+	}
+	crash.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := crash.Read(make([]byte, 256)); err != nil {
+		t.Fatalf("fake receiver read: %v", err)
+	}
+	crash.Close()
+
+	// The abort shows up in the release signal (§6): STATS must count it
+	// while the instance stays active (never started draining).
+	stats := func() string {
+		conn, err := net.DialTimeout("tcp", healthAddr, time.Second)
+		if err != nil {
+			return ""
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		conn.Write([]byte("STATS\n"))
+		var out []byte
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := conn.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				return string(out)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var dump string
+	for {
+		dump = stats()
+		if strings.Contains(dump, "counter proxy.takeover_aborts 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abort never counted; STATS:\n%s", dump)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !strings.Contains(dump, "status active") {
+		t.Fatalf("gen1 not active after aborted handoff; STATS:\n%s", dump)
+	}
+
+	// The real release now goes through: a second PROCESS takes over.
+	gen2 := startProxy(t, filepath.Join(dir, "gen2.log"),
+		append([]string{"-name", "gen2", "-takeover-from", takeoverPath}, common...)...)
+	gen2.waitOutput(t, "took over", 5*time.Second)
+	gen2.waitOutput(t, "takeover path", 5*time.Second)
+
+	gen1.cmd.Process.Signal(syscall.SIGTERM)
+	waitExit := make(chan error, 1)
+	go func() { waitExit <- gen1.cmd.Wait() }()
+	select {
+	case <-waitExit:
+	case <-time.After(10 * time.Second):
+		t.Fatal("gen1 never exited after SIGTERM")
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	<-loadDone
+	if failed.Load() > 0 {
+		t.Fatalf("%d requests failed across the aborted + real takeover (served %d)", failed.Load(), served.Load())
+	}
+	if served.Load() < 50 {
+		t.Fatalf("only %d requests served; load generator broken?", served.Load())
+	}
+}
+
 // TestCrossProcessTopology runs the full paper topology as five separate
 // OS processes — broker, app server, Origin proxy (two generations), Edge
 // proxy — and exercises both user protocols across a cross-process Origin

@@ -61,9 +61,32 @@ type Session struct {
 	pingWait map[uint64]chan struct{}
 }
 
+// An Option customises a Session before it starts serving.
+type Option func(*sessionOptions)
+
+type sessionOptions struct {
+	wrap func(net.Conn) net.Conn
+}
+
+// WithConnWrapper interposes wrap between the session and its transport.
+// It is the seam internal/faults uses to inject transport-level faults
+// beneath the framing layer without the session knowing.
+func WithConnWrapper(wrap func(net.Conn) net.Conn) Option {
+	return func(o *sessionOptions) { o.wrap = wrap }
+}
+
 // NewSession starts a session over conn. Exactly one endpoint must pass
 // isClient=true. The session owns conn.
-func NewSession(conn net.Conn, isClient bool) *Session {
+func NewSession(conn net.Conn, isClient bool, opts ...Option) *Session {
+	var o sessionOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.wrap != nil {
+		if wrapped := o.wrap(conn); wrapped != nil {
+			conn = wrapped
+		}
+	}
 	s := &Session{
 		conn:     conn,
 		isClient: isClient,

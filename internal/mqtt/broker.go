@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"zdr/internal/faults"
 	"zdr/internal/metrics"
 )
 
@@ -34,7 +36,17 @@ type Broker struct {
 	sessions map[string]*session
 	closed   bool
 
+	faults atomic.Pointer[faults.Injector]
+
 	wg sync.WaitGroup
+}
+
+// SetFaults installs a fault injector on the accept path: every
+// connection accepted by Serve is wrapped with an injected fault
+// schedule (chaos testing). Pass nil to remove it. Safe to call
+// concurrently with Serve.
+func (b *Broker) SetFaults(in *faults.Injector) {
+	b.faults.Store(in)
 }
 
 // session is per-user connection context.
@@ -71,6 +83,7 @@ func (b *Broker) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		conn = b.faults.Load().Conn(conn)
 		b.wg.Add(1)
 		go func() {
 			defer b.wg.Done()

@@ -155,13 +155,15 @@ func (c *Client) allocWaiter() (uint16, chan *Packet, error) {
 }
 
 func await(ch chan *Packet, timeout time.Duration) (*Packet, error) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case p, ok := <-ch:
 		if !ok {
 			return nil, ErrClientClosed
 		}
 		return p, nil
-	case <-time.After(timeout):
+	case <-t.C:
 		return nil, errors.New("mqtt: timeout waiting for ack")
 	}
 }
@@ -216,12 +218,14 @@ func (c *Client) Ping(timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-c.pong:
 		return nil
 	case <-c.done:
 		return ErrClientClosed
-	case <-time.After(timeout):
+	case <-t.C:
 		return errors.New("mqtt: ping timeout")
 	}
 }

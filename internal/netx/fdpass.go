@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sync/atomic"
 	"syscall"
 )
 
@@ -39,12 +40,41 @@ const maxFDsPerMessage = 128
 // descriptors.
 var ErrNoFDs = errors.New("netx: control message carried no file descriptors")
 
+// FDHook intercepts FD-passing operations for deterministic fault
+// injection (internal/faults chaos tests): op is "write" or "read"; for
+// writes, data and fds are the outgoing message. Returning a non-nil
+// error fails the operation before any syscall runs — simulating a
+// sendmsg/recvmsg failure mid-handoff without a real peer crash.
+type FDHook func(op string, data []byte, fds []int) error
+
+var fdHook atomic.Pointer[FDHook]
+
+// SetFDHook installs (or, with nil, removes) the process-wide FD hook.
+// Safe for concurrent use; intended for tests only.
+func SetFDHook(h FDHook) {
+	if h == nil {
+		fdHook.Store(nil)
+		return
+	}
+	fdHook.Store(&h)
+}
+
+func runFDHook(op string, data []byte, fds []int) error {
+	if hp := fdHook.Load(); hp != nil {
+		return (*hp)(op, data, fds)
+	}
+	return nil
+}
+
 // WriteFDs sends data plus the given file descriptors over the UNIX socket
 // as a single message with an SCM_RIGHTS control message. len(fds) must be
 // at most maxFDsPerMessage.
 func WriteFDs(conn *net.UnixConn, data []byte, fds []int) error {
 	if len(fds) > maxFDsPerMessage {
 		return fmt.Errorf("netx: %d fds exceeds per-message limit %d", len(fds), maxFDsPerMessage)
+	}
+	if err := runFDHook("write", data, fds); err != nil {
+		return fmt.Errorf("netx: sendmsg: %w", err)
 	}
 	var oob []byte
 	if len(fds) > 0 {
@@ -64,6 +94,9 @@ func WriteFDs(conn *net.UnixConn, data []byte, fds []int) error {
 // and any file descriptors received via SCM_RIGHTS. The received FDs have
 // CLOEXEC set. If the message carries no control data, fds is nil.
 func ReadFDs(conn *net.UnixConn, buf []byte) (data []byte, fds []int, err error) {
+	if err := runFDHook("read", nil, nil); err != nil {
+		return nil, nil, fmt.Errorf("netx: recvmsg: %w", err)
+	}
 	oob := make([]byte, syscall.CmsgSpace(4*maxFDsPerMessage))
 	n, oobn, _, _, err := conn.ReadMsgUnix(buf, oob)
 	if err != nil {
@@ -130,38 +163,41 @@ func SocketPair() (a, b *net.UnixConn, err error) {
 // ListenerFD extracts a duplicated file descriptor from a TCP listener.
 // The caller owns the returned FD and must close it.
 func ListenerFD(ln *net.TCPListener) (int, error) {
-	f, err := ln.File() // dups the fd
-	if err != nil {
-		return -1, fmt.Errorf("netx: listener File(): %w", err)
-	}
-	fd := int(f.Fd())
-	// Steal the fd from the *os.File so closing the file later doesn't
-	// close our dup: dup it once more and close the File.
-	dup, err := syscall.Dup(fd)
-	if err != nil {
-		f.Close()
-		return -1, fmt.Errorf("netx: dup: %w", err)
-	}
-	syscall.CloseOnExec(dup)
-	f.Close()
-	return dup, nil
+	return dupSocketFD(ln, "listener")
 }
 
 // PacketConnFD extracts a duplicated file descriptor from a UDP socket.
 // The caller owns the returned FD and must close it.
 func PacketConnFD(pc *net.UDPConn) (int, error) {
-	f, err := pc.File()
+	return dupSocketFD(pc, "packetconn")
+}
+
+// dupSocketFD duplicates a socket's fd via SyscallConn — NOT via
+// File()/Fd(). os.File.Fd() restores blocking mode on the descriptor, and
+// because O_NONBLOCK lives in the open file description shared by every
+// dup (including the original listener and any copy already handed to
+// another process), that flips the live listener into blocking mode: its
+// accept threads then sit in accept(2) where Close cannot interrupt them,
+// and an aborted hand-off would wedge the old instance's drain path
+// forever. Control() runs with the fd pinned and touches no flags.
+func dupSocketFD(c syscall.Conn, kind string) (int, error) {
+	rc, err := c.SyscallConn()
 	if err != nil {
-		return -1, fmt.Errorf("netx: packetconn File(): %w", err)
+		return -1, fmt.Errorf("netx: %s SyscallConn: %w", kind, err)
 	}
-	fd := int(f.Fd())
-	dup, err := syscall.Dup(fd)
-	if err != nil {
-		f.Close()
-		return -1, fmt.Errorf("netx: dup: %w", err)
+	dup := -1
+	var dupErr error
+	if err := rc.Control(func(fd uintptr) {
+		dup, dupErr = syscall.Dup(int(fd))
+		if dupErr == nil {
+			syscall.CloseOnExec(dup)
+		}
+	}); err != nil {
+		return -1, fmt.Errorf("netx: %s control: %w", kind, err)
 	}
-	syscall.CloseOnExec(dup)
-	f.Close()
+	if dupErr != nil {
+		return -1, fmt.Errorf("netx: dup: %w", dupErr)
+	}
 	return dup, nil
 }
 

@@ -3,6 +3,7 @@ package netx
 import (
 	"bytes"
 	"net"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -301,4 +302,73 @@ func TestSharedAcceptQueue(t *testing.T) {
 	if counts["old"]+counts["new"] != total {
 		t.Fatalf("counts=%v", counts)
 	}
+}
+
+// TestListenerFDKeepsNonblocking pins the property behind the wedged-drain
+// fix: extracting an fd for SCM_RIGHTS transfer must not flip the original
+// listener's open file description into blocking mode (os.File.Fd() does
+// exactly that, and O_NONBLOCK is shared across dups). A blocking listener
+// cannot be Closed while an Accept is in flight — an aborted hand-off
+// would then wedge the old instance's drain forever.
+func TestListenerFDKeepsNonblocking(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	tl := ln.(*net.TCPListener)
+
+	fd, err := ListenerFD(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer syscall.Close(fd)
+
+	rc, err := tl.SyscallConn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flags int
+	var flagsErr error
+	rc.Control(func(fd uintptr) {
+		flags, flagsErr = unixFcntl(int(fd), syscall.F_GETFL, 0)
+	})
+	if flagsErr != nil {
+		t.Fatal(flagsErr)
+	}
+	if flags&syscall.O_NONBLOCK == 0 {
+		t.Fatal("ListenerFD flipped the original listener into blocking mode")
+	}
+
+	// The behavioural consequence: Close must interrupt a pending Accept
+	// promptly instead of waiting for a connection that never comes.
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		c, err := tl.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let Accept park
+	closed := make(chan struct{})
+	go func() { tl.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked behind a pending Accept — listener is in blocking mode")
+	}
+	select {
+	case <-acceptDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept never returned after Close")
+	}
+}
+
+func unixFcntl(fd, cmd, arg int) (int, error) {
+	r, _, e := syscall.Syscall(syscall.SYS_FCNTL, uintptr(fd), uintptr(cmd), uintptr(arg))
+	if e != 0 {
+		return 0, e
+	}
+	return int(r), nil
 }

@@ -63,12 +63,11 @@ func (p *Proxy) originSessionFor(exclude string) (*tunnelEntry, error) {
 		}
 	}
 	p.rrOrigin++
-	dialTimeout := p.cfg.DialTimeout
 	p.mu.Unlock()
 
 	var lastErr error
 	for _, addr := range candidates {
-		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		conn, err := p.dialUpstream(addr)
 		if err != nil {
 			lastErr = err
 			continue
@@ -169,7 +168,7 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 		defer func() { <-done }()
 	}
 
-	respHdr, err := st.RecvHeaders(30 * time.Second)
+	respHdr, err := st.RecvHeaders(p.cfg.UpstreamResponseTimeout)
 	if err != nil {
 		p.reg.Counter("edge.http.errors.upstream").Inc()
 		st.Reset()
@@ -423,6 +422,8 @@ func (p *Proxy) reconnectThroughAnotherOrigin(relay *mqttRelay) bool {
 		p.reg.Counter("edge.mqtt.reconnect.failed").Inc()
 		return false
 	}
+	ackTimer := time.NewTimer(p.cfg.DCRAckTimeout)
+	defer ackTimer.Stop()
 	select {
 	case c := <-st.Controls():
 		switch c.Type {
@@ -439,7 +440,7 @@ func (p *Proxy) reconnectThroughAnotherOrigin(relay *mqttRelay) bool {
 			st.Reset()
 			return false
 		}
-	case <-time.After(5 * time.Second):
+	case <-ackTimer.C:
 		p.reg.Counter("edge.mqtt.reconnect.timeout").Inc()
 		st.Reset()
 		return false

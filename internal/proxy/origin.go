@@ -153,7 +153,7 @@ func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID string, resu
 		st.Reset()
 		return
 	}
-	bconn, err := net.DialTimeout("tcp", brokerAddr, p.cfg.DialTimeout)
+	bconn, err := p.dialUpstream(brokerAddr)
 	if err != nil {
 		p.reg.Counter("origin.mqtt.broker_dial_failed").Inc()
 		if resume {
@@ -240,6 +240,7 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 
 	attempts := p.cfg.PPRRetries
 	var lastErr error
+	errored := 0 // transport-failed attempts, paced by RetryBackoff
 	for attempt := 0; attempt <= attempts; attempt++ {
 		asAddr := p.nextAppServer(attempt)
 		if asAddr == "" {
@@ -250,6 +251,12 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 		if err != nil {
 			lastErr = err
 			p.reg.Counter("origin.http.attempt_errors").Inc()
+			// Back off before redialing: a restarting app server needs a
+			// moment to rebind (§4.4). PPR replays (the 379 path below)
+			// are not delayed — the hand-back is an invitation to resend
+			// immediately to a healthy server.
+			time.Sleep(p.cfg.RetryBackoff.Delay(errored))
+			errored++
 			continue
 		}
 		if http1.IsPartialPostReplay(resp) {
@@ -297,7 +304,7 @@ func (p *Proxy) nextAppServer(attempt int) string {
 // grace-reads everything sent before that moment, preserving the
 // no-byte-lost invariant). On return the caller owns conn.
 func (p *Proxy) attemptAppServer(addr, method, path string, cl int64, replay []byte, rest io.Reader) (*http1.Response, *bufio.Reader, net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
+	conn, err := p.dialUpstream(addr)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -424,13 +431,15 @@ func (p *Proxy) attemptAppServer(addr, method, path string, cl int64, replay []b
 	}
 
 	// Await the response.
+	respTimer := time.NewTimer(p.cfg.UpstreamResponseTimeout)
+	defer respTimer.Stop()
 	select {
 	case rr := <-respCh:
 		if rr.err != nil {
 			return fail(rr.err)
 		}
 		return rr.resp, rr.br, conn, nil
-	case <-time.After(30 * time.Second):
+	case <-respTimer.C:
 		return fail(errors.New("proxy: app server response timeout"))
 	}
 }

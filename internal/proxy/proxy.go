@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"zdr/internal/consistent"
+	"zdr/internal/faults"
 	"zdr/internal/metrics"
 	"zdr/internal/quicx"
 	"zdr/internal/takeover"
@@ -93,6 +94,29 @@ type Config struct {
 	// model traditional restart-in-place, where the replacement instance
 	// must rebind the same address.
 	VIPAddrs map[string]string
+
+	// DCRAckTimeout bounds how long a DCR re_connect waits for the
+	// broker's connect_ack / connect_refuse before the relay gives up
+	// (§4.2). Default 5s; chaos tests tighten it.
+	DCRAckTimeout time.Duration
+	// UpstreamResponseTimeout bounds the wait for an upstream response:
+	// the app-server reply at the Origin and the tunnel response headers
+	// at the Edge. Default 30s.
+	UpstreamResponseTimeout time.Duration
+	// RetryBackoff paces upstream retry attempts after a dial or
+	// transport error (the §4.4 retry path). PPR replays after a 379
+	// hand-back are not delayed — the app server asked for them. The
+	// zero value defaults to 5ms base, doubling, 200ms cap.
+	RetryBackoff faults.Backoff
+
+	// Faults optionally injects deterministic faults into upstream dials
+	// (edge→origin tunnel, origin→app-server, origin→broker) and the
+	// connections they produce. Nil disables injection.
+	Faults *faults.Injector
+	// AcceptFaults optionally injects deterministic faults into
+	// connections accepted on this proxy's TCP VIPs. Nil disables
+	// injection.
+	AcceptFaults *faults.Injector
 }
 
 func (c *Config) fill() {
@@ -104,6 +128,18 @@ func (c *Config) fill() {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 2 * time.Second
+	}
+	if c.DCRAckTimeout <= 0 {
+		c.DCRAckTimeout = 5 * time.Second
+	}
+	if c.UpstreamResponseTimeout <= 0 {
+		c.UpstreamResponseTimeout = 30 * time.Second
+	}
+	if c.RetryBackoff.Base <= 0 {
+		c.RetryBackoff.Base = 5 * time.Millisecond
+	}
+	if c.RetryBackoff.Max <= 0 {
+		c.RetryBackoff.Max = 200 * time.Millisecond
 	}
 }
 
@@ -244,6 +280,13 @@ func (p *Proxy) quicHandler(conn quicx.ConnID, payload []byte) []byte {
 	return []byte(p.cfg.Name + "|404")
 }
 
+// dialUpstream dials an upstream address (origin tunnel, app server,
+// broker) through the optional fault injector; with no injector it is
+// exactly net.DialTimeout.
+func (p *Proxy) dialUpstream(addr string) (net.Conn, error) {
+	return p.cfg.Faults.Dial("tcp", addr, p.cfg.DialTimeout)
+}
+
 // serveLoop runs an accept loop feeding handler goroutines.
 func (p *Proxy) serveLoop(ln *net.TCPListener, handler func(net.Conn)) {
 	p.wg.Add(1)
@@ -254,10 +297,11 @@ func (p *Proxy) serveLoop(ln *net.TCPListener, handler func(net.Conn)) {
 			if err != nil {
 				return // listener handle closed (drain or shutdown)
 			}
+			c := p.cfg.AcceptFaults.Conn(conn)
 			p.wg.Add(1)
 			go func() {
 				defer p.wg.Done()
-				handler(conn)
+				handler(c)
 			}()
 		}
 	}()
@@ -362,6 +406,11 @@ func (p *Proxy) ServeTakeover(path string) error {
 		Set: set,
 		OnDrainStart: func(takeover.Result) {
 			p.StartDraining()
+		},
+		OnHandoffError: func(error) {
+			// The receiver died or misbehaved mid-handoff; this instance
+			// rolled back (never started draining) and keeps serving.
+			p.reg.Counter("proxy.takeover_aborts").Inc()
 		},
 	}
 	p.mu.Lock()

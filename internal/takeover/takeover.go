@@ -38,6 +38,7 @@
 package takeover
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -48,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"zdr/internal/faults"
 	"zdr/internal/netx"
 )
 
@@ -571,6 +573,13 @@ type Server struct {
 	// the point at which the old instance must stop accepting and start
 	// draining (step E).
 	OnDrainStart func(Result)
+	// OnHandoffError, if non-nil, is invoked after a failed hand-off
+	// attempt (receiver died mid-handshake, ACK timeout, protocol error).
+	// The server has already rolled back: its dup'd FDs are closed, the
+	// instance never started draining, and it keeps accepting further
+	// hand-off attempts. The callback is the abort's observability hook
+	// (§5.1 — aborted releases must be visible, not silent).
+	OnHandoffError func(error)
 	// HandshakeTimeout bounds each hand-off; zero means the default.
 	HandshakeTimeout time.Duration
 
@@ -605,6 +614,9 @@ func (s *Server) ListenAndServe(path string) error {
 		if err != nil {
 			// A failed hand-off leaves this instance fully in charge;
 			// keep serving so a retried deploy can connect again.
+			if s.OnHandoffError != nil {
+				s.OnHandoffError(err)
+			}
 			continue
 		}
 		if s.OnDrainStart != nil {
@@ -626,20 +638,55 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// DefaultConnectBackoff paces Connect's dial retries: the old instance's
+// takeover socket may not exist yet (deploy ordering) or may be briefly
+// busy with another hand-off attempt.
+var DefaultConnectBackoff = faults.Backoff{
+	Base:     20 * time.Millisecond,
+	Max:      250 * time.Millisecond,
+	Factor:   2,
+	Attempts: 8,
+}
+
 // Connect dials the old instance's takeover server at path and receives
-// the socket set (steps B–D, receiver side).
+// the socket set (steps B–D, receiver side). Dial failures are retried
+// with DefaultConnectBackoff until timeout; protocol failures behind a
+// successful dial are not retried (the sender rolled back — a blind
+// retry would race its abort handling).
 func Connect(path string, timeout time.Duration) (*ListenerSet, *Result, error) {
+	return ConnectBackoff(path, timeout, DefaultConnectBackoff)
+}
+
+// ConnectBackoff is Connect with an explicit dial-retry policy.
+func ConnectBackoff(path string, timeout time.Duration, bo faults.Backoff) (*ListenerSet, *Result, error) {
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
 	}
-	d := net.Dialer{Timeout: timeout}
-	c, err := d.Dial("unix", path)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var (
+		set *ListenerSet
+		res *Result
+	)
+	err := bo.Retry(ctx, func() error {
+		d := net.Dialer{Timeout: timeout}
+		c, err := d.DialContext(ctx, "unix", path)
+		if err != nil {
+			return fmt.Errorf("takeover: connect %s: %w", path, err)
+		}
+		conn := c.(*net.UnixConn)
+		defer conn.Close()
+		s, r, err := Receive(conn, timeout)
+		if err != nil {
+			return faults.Permanent(err)
+		}
+		set, res = s, r
+		return nil
+	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("takeover: connect %s: %w", path, err)
+		return nil, nil, err
 	}
-	conn := c.(*net.UnixConn)
-	defer conn.Close()
-	return Receive(conn, timeout)
+	return set, res, nil
 }
 
 func removeStaleSocket(path string) error {
