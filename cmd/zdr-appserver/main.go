@@ -19,6 +19,7 @@ import (
 
 	"zdr/internal/appserver"
 	"zdr/internal/http1"
+	"zdr/internal/obs"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	name := flag.String("name", "", "instance name (default appserver-<pid>)")
 	mode := flag.String("mode", "ppr", "in-flight POST handling on restart: ppr | 500 | 307")
 	drain := flag.Duration("drain", 12*time.Second, "drain period")
+	admin := flag.String("admin", "", "admin endpoint bind address (/metrics, /healthz); empty disables")
 	flag.Parse()
 
 	var m appserver.Mode
@@ -64,6 +66,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%s: serving on %s (mode=%s drain=%v)\n", *name, bound, *mode, *drain)
+	if *admin != "" {
+		a := &obs.Admin{Service: *name, Registry: srv.Metrics(), Draining: srv.Draining}
+		asrv, err := a.Start(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer asrv.Close()
+		fmt.Printf("%s: admin on http://%s\n", *name, asrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -16,11 +16,13 @@ import (
 	"syscall"
 
 	"zdr/internal/mqtt"
+	"zdr/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	name := flag.String("name", "", "broker name (default broker-<pid>)")
+	admin := flag.String("admin", "", "admin endpoint bind address (/metrics, /healthz); empty disables")
 	flag.Parse()
 	if *name == "" {
 		*name = fmt.Sprintf("broker-%d", os.Getpid())
@@ -34,6 +36,16 @@ func main() {
 	}
 	fmt.Printf("%s: serving MQTT on %s\n", *name, ln.Addr())
 	go b.Serve(ln)
+	if *admin != "" {
+		a := &obs.Admin{Service: *name, Registry: b.Metrics()}
+		srv, err := a.Start(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("%s: admin on http://%s\n", *name, srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"zdr/internal/faults"
+	"zdr/internal/obs"
 	"zdr/internal/proxy"
 )
 
@@ -49,6 +50,7 @@ func main() {
 	drain := flag.Duration("drain", 20*time.Second, "drain period on shutdown")
 	takeoverPath := flag.String("takeover-path", "", "UNIX socket path to serve Socket Takeover on")
 	takeoverFrom := flag.String("takeover-from", "", "take the listening sockets over from the instance at this path")
+	admin := flag.String("admin", "", "admin endpoint bind address (/metrics, /healthz, /debug/release); empty disables")
 	flag.Parse()
 
 	cfg := proxy.Config{
@@ -80,8 +82,26 @@ func main() {
 		fatal("unknown role %q", *role)
 	}
 	setAddr(cfg.VIPAddrs, proxy.VIPHealth, *health)
+	if *admin != "" {
+		cfg.Trace = obs.NewTracer(cfg.Name)
+	}
 
 	p := proxy.New(cfg, nil)
+	if *admin != "" {
+		a := &obs.Admin{
+			Service:      cfg.Name,
+			Registry:     p.Metrics(),
+			Tracer:       p.Tracer(),
+			Draining:     p.Draining,
+			ReleaseState: p.ReleaseState,
+		}
+		srv, err := a.Start(*admin)
+		if err != nil {
+			fatal("admin listener: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("%s: admin on http://%s\n", cfg.Name, srv.Addr())
+	}
 	if *takeoverFrom != "" {
 		res, err := p.TakeoverFrom(*takeoverFrom)
 		if err != nil {

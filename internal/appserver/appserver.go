@@ -30,6 +30,7 @@ import (
 
 	"zdr/internal/http1"
 	"zdr/internal/metrics"
+	"zdr/internal/obs"
 )
 
 // Handler produces the response for a fully received request.
@@ -69,6 +70,9 @@ type Config struct {
 	// GraceSilence is how long the line must go quiet inside the grace
 	// window before the partial body is considered settled (default 100ms).
 	GraceSilence time.Duration
+	// Trace records appserver.request spans, joining the trace carried in
+	// the x-zdr-trace request header. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // Server is one app-server instance.
@@ -265,14 +269,21 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // serveRequest handles one request; false means close the connection.
 func (s *Server) serveRequest(conn net.Conn, br *bufio.Reader, req *http1.Request) bool {
+	remote, _ := obs.ParseSpanContext(req.Header.Get(obs.TraceHeader))
+	sp := s.cfg.Trace.StartSpan("appserver.request", remote)
+	defer sp.End()
+	sp.SetAttr("method", req.Method)
+	sp.SetAttr("path", req.Target)
 	body, complete, err := s.readBodyInterruptible(conn, req)
 	if err != nil {
 		s.reg.Counter("appserver.body.errors").Inc()
+		sp.Fail(err)
 		return false
 	}
 	if !complete {
 		// Restart caught the request mid-body: hand it back.
 		s.reg.Counter("appserver.inflight.at.restart").Inc()
+		sp.SetAttr("result", "handed_back")
 		return s.respondInterrupted(conn, req, body)
 	}
 	resp := s.cfg.Handler(req, body)
@@ -281,8 +292,10 @@ func (s *Server) serveRequest(conn net.Conn, br *bufio.Reader, req *http1.Reques
 	}
 	resp.Header.Set("X-Served-By", s.cfg.Name)
 	if _, err := http1.WriteResponse(conn, resp); err != nil {
+		sp.Fail(err)
 		return false
 	}
+	sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
 	s.reg.Counter(fmt.Sprintf("appserver.status.%d", resp.StatusCode)).Inc()
 	return true
 }

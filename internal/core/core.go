@@ -23,12 +23,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"zdr/internal/appserver"
 	"zdr/internal/faults"
 	"zdr/internal/metrics"
+	"zdr/internal/obs"
 	"zdr/internal/proxy"
 )
 
@@ -46,6 +48,21 @@ type Restartable interface {
 	// Restart replaces the running generation with a new one, returning
 	// once the new generation is serving.
 	Restart() error
+}
+
+// TracedRestartable is a release target that can record its restart as a
+// span tree under a parent release span. Run uses it automatically when
+// Plan.Trace is set.
+type TracedRestartable interface {
+	Restartable
+	RestartTraced(parent *obs.Span) error
+}
+
+// DrainWaiter is a release target whose restarts leave background drains
+// running. Run waits for them before assembling a traced report, so the
+// report's slot.drain spans are complete.
+type DrainWaiter interface {
+	WaitDrains()
 }
 
 // ProxySlot manages generations of a Proxygen instance.
@@ -66,10 +83,11 @@ type ProxySlot struct {
 	// package defaults (20ms base, doubling, 500ms cap, 10 attempts).
 	RearmBackoff faults.Backoff
 
-	mu     sync.Mutex
-	cur    *proxy.Proxy
-	gen    int
-	armErr error // last takeover-server arming failure (nil = armed)
+	mu      sync.Mutex
+	cur     *proxy.Proxy
+	gen     int
+	armErr  error // last takeover-server arming failure (nil = armed)
+	drainWG sync.WaitGroup
 }
 
 // Start brings up the first generation.
@@ -112,7 +130,21 @@ func (s *ProxySlot) Name() string { return s.SlotName }
 // Restart performs a Zero Downtime Restart: the new generation takes the
 // sockets over; the old generation drains (GOAWAY + DCR solicitations
 // happen inside proxy.StartDraining) and terminates in the background.
-func (s *ProxySlot) Restart() error {
+func (s *ProxySlot) Restart() error { return s.restart(nil) }
+
+// RestartTraced is Restart recorded as a "slot.restart" span (with a
+// "slot.drain" child covering the old generation's retirement) under
+// parent. Implements TracedRestartable.
+func (s *ProxySlot) RestartTraced(parent *obs.Span) error {
+	sp := parent.StartChild("slot.restart")
+	sp.SetAttr("slot", s.SlotName)
+	defer sp.End()
+	err := s.restart(sp)
+	sp.Fail(err)
+	return err
+}
+
+func (s *ProxySlot) restart(sp *obs.Span) error {
 	s.mu.Lock()
 	old := s.cur
 	s.mu.Unlock()
@@ -120,14 +152,19 @@ func (s *ProxySlot) Restart() error {
 		return errors.New("core: slot not started")
 	}
 	next := s.Build()
-	if _, err := next.TakeoverFrom(s.Path); err != nil {
+	if _, err := next.TakeoverFromTraced(s.Path, sp); err != nil {
 		next.Close()
 		return fmt.Errorf("core: takeover failed, old generation keeps serving: %w", err)
 	}
 	// The hand-off flipped the old generation into draining via its
 	// takeover server callback. Retire it in the background and promote
 	// the new generation.
+	drainSp := sp.StartChild("slot.drain")
+	drainSp.SetAttr("slot", s.SlotName)
+	s.drainWG.Add(1)
 	go func(old *proxy.Proxy) {
+		defer s.drainWG.Done()
+		defer drainSp.End()
 		if s.DrainWait > 0 {
 			time.Sleep(s.DrainWait)
 			old.Close()
@@ -139,6 +176,35 @@ func (s *ProxySlot) Restart() error {
 	// after this one. The old generation's server closed its socket after
 	// the hand-off; backoff absorbs that teardown.
 	return s.promote(next)
+}
+
+// WaitDrains blocks until every background drain started by Restart has
+// retired its old generation. Implements DrainWaiter.
+func (s *ProxySlot) WaitDrains() { s.drainWG.Wait() }
+
+// State summarises the slot for /debug/release.
+func (s *ProxySlot) State() obs.SlotState {
+	s.mu.Lock()
+	cur, gen, armErr := s.cur, s.gen, s.armErr
+	s.mu.Unlock()
+	st := obs.SlotState{
+		Name:          s.SlotName,
+		Generation:    gen,
+		TakeoverArmed: cur != nil && armErr == nil,
+	}
+	if armErr != nil {
+		st.ArmError = armErr.Error()
+	}
+	if cur != nil {
+		ps := cur.ReleaseState()
+		st.Draining = ps.Draining
+		if len(ps.Slots) > 0 {
+			st.Takeovers = ps.Slots[0].Takeovers
+			st.TakeoverAborts = ps.Slots[0].TakeoverAborts
+			st.Drains = ps.Slots[0].Drains
+		}
+	}
+	return st
 }
 
 // promote records next as the serving generation and arms its takeover
@@ -311,7 +377,33 @@ func (s *AppServerSlot) Name() string { return s.SlotName }
 // Restart drains the old generation (handing in-flight POSTs back via
 // PPR), then binds the new generation on the same address. The brief
 // listening gap is what the downstream proxy's retry logic (§4.4) covers.
-func (s *AppServerSlot) Restart() error {
+func (s *AppServerSlot) Restart() error { return s.restart(nil) }
+
+// RestartTraced is Restart recorded as a "slot.restart" span with a
+// "slot.drain" child covering the old generation's synchronous drain.
+// Implements TracedRestartable.
+func (s *AppServerSlot) RestartTraced(parent *obs.Span) error {
+	sp := parent.StartChild("slot.restart")
+	sp.SetAttr("slot", s.SlotName)
+	defer sp.End()
+	err := s.restart(sp)
+	sp.Fail(err)
+	return err
+}
+
+// State summarises the slot for /debug/release.
+func (s *AppServerSlot) State() obs.SlotState {
+	s.mu.Lock()
+	cur, gen := s.cur, s.gen
+	s.mu.Unlock()
+	st := obs.SlotState{Name: s.SlotName, Generation: gen}
+	if cur != nil {
+		st.Draining = cur.Draining()
+	}
+	return st
+}
+
+func (s *AppServerSlot) restart(sp *obs.Span) error {
 	s.mu.Lock()
 	old := s.cur
 	addr := s.addr
@@ -319,7 +411,10 @@ func (s *AppServerSlot) Restart() error {
 	if old == nil {
 		return errors.New("core: slot not started")
 	}
+	drainSp := sp.StartChild("slot.drain")
+	drainSp.SetAttr("slot", s.SlotName)
 	old.Shutdown()
+	drainSp.End()
 	next := s.Build()
 	err := s.BindBackoff.Retry(context.Background(), func() error {
 		_, e := next.Listen(addr)
@@ -358,6 +453,14 @@ type Plan struct {
 	// FailFast aborts the release on the first restart error; otherwise
 	// errors are recorded and the release continues.
 	FailFast bool
+	// Trace, when non-nil, records the release as a span tree: a root
+	// "release" span, one "release.batch" span per batch, and per-target
+	// "slot.restart" trees for targets implementing TracedRestartable.
+	// The finished spans are folded into Report.Release.
+	Trace *obs.Tracer
+	// ReportPath, when non-empty, writes the ReleaseReport JSON there
+	// after the release completes (even a FailFast-aborted one).
+	ReportPath string
 }
 
 // BatchReport records one batch's outcome.
@@ -373,10 +476,20 @@ type Report struct {
 	Batches  []BatchReport
 	Restarts int
 	Failed   int
+	// Release is the machine-readable report (per-phase durations,
+	// counters, span tree). Built when Plan.Trace or Plan.ReportPath is
+	// set; nil otherwise.
+	Release *ReleaseReport
 }
 
 // Run executes a rolling release over targets. Restarts within a batch run
 // concurrently; batches are sequential.
+//
+// With Plan.Trace set, the release is recorded as a span tree (root
+// "release" span, per-batch "release.batch" spans, per-target restart
+// trees) and Report.Release carries the machine-readable ReleaseReport;
+// Run waits for background drains (DrainWaiter targets) first so the
+// report's drain spans are complete.
 func Run(plan Plan, targets []Restartable, reg *metrics.Registry) (*Report, error) {
 	if plan.BatchFraction <= 0 || plan.BatchFraction > 1 {
 		plan.BatchFraction = 0.2
@@ -388,8 +501,44 @@ func Run(plan Plan, targets []Restartable, reg *metrics.Registry) (*Report, erro
 	if batchSize < 1 {
 		batchSize = 1
 	}
+	wantReport := plan.Trace != nil || plan.ReportPath != ""
+	var countersBefore map[string]int64
+	if wantReport {
+		countersBefore = reg.Snapshot().Counters
+	}
+	root := plan.Trace.StartSpan("release", obs.SpanContext{})
+	root.SetAttr("targets", strconv.Itoa(len(targets)))
+	root.SetAttr("batch_fraction", strconv.FormatFloat(plan.BatchFraction, 'g', -1, 64))
+
 	report := &Report{}
 	start := time.Now()
+	// finish closes the release span, settles background drains, and
+	// assembles the machine-readable report. Used by both the normal and
+	// the FailFast-abort exits.
+	finish := func(runErr error) (*Report, error) {
+		report.Total = time.Since(start)
+		root.Fail(runErr)
+		root.End()
+		if !wantReport {
+			return report, runErr
+		}
+		if plan.Trace != nil {
+			// Drains outlive Restart; wait so their spans are finished.
+			for _, t := range targets {
+				if dw, ok := t.(DrainWaiter); ok {
+					dw.WaitDrains()
+				}
+			}
+		}
+		report.Release = buildReleaseReport(report, plan.BatchFraction,
+			countersBefore, reg.Snapshot().Counters, plan.Trace.Finished())
+		if plan.ReportPath != "" {
+			if err := report.Release.WriteFile(plan.ReportPath); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+		return report, runErr
+	}
 	for off := 0; off < len(targets); off += batchSize {
 		end := off + batchSize
 		if end > len(targets) {
@@ -400,6 +549,8 @@ func Run(plan Plan, targets []Restartable, reg *metrics.Registry) (*Report, erro
 		for _, t := range batch {
 			br.Targets = append(br.Targets, t.Name())
 		}
+		bSp := root.StartChild("release.batch")
+		bSp.SetAttr("batch", strconv.Itoa(len(report.Batches)))
 		bStart := time.Now()
 		errs := make([]error, len(batch))
 		var wg sync.WaitGroup
@@ -407,6 +558,10 @@ func Run(plan Plan, targets []Restartable, reg *metrics.Registry) (*Report, erro
 			wg.Add(1)
 			go func(i int, t Restartable) {
 				defer wg.Done()
+				if tr, ok := t.(TracedRestartable); ok && plan.Trace != nil {
+					errs[i] = tr.RestartTraced(bSp)
+					return
+				}
 				errs[i] = t.Restart()
 			}(i, t)
 		}
@@ -421,15 +576,17 @@ func Run(plan Plan, targets []Restartable, reg *metrics.Registry) (*Report, erro
 			}
 		}
 		br.Duration = time.Since(bStart)
+		if len(br.Errors) > 0 {
+			bSp.Fail(br.Errors[0])
+		}
+		bSp.End()
 		report.Batches = append(report.Batches, br)
 		if plan.FailFast && len(br.Errors) > 0 {
-			report.Total = time.Since(start)
-			return report, br.Errors[0]
+			return finish(br.Errors[0])
 		}
 		if end < len(targets) && plan.BatchDelay > 0 {
 			time.Sleep(plan.BatchDelay)
 		}
 	}
-	report.Total = time.Since(start)
-	return report, nil
+	return finish(nil)
 }

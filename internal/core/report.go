@@ -1,0 +1,119 @@
+// Release reports: the machine-readable record of one rolling release.
+//
+// A ReleaseReport is pure data — every field survives a JSON round-trip
+// bit-for-bit (timestamps are UnixNano int64, durations are nanosecond
+// counts, spans are obs.SpanNode trees) — so experiment harnesses and CI
+// can marshal it to disk, load it back, and assert on phase durations
+// with reflect.DeepEqual.
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"zdr/internal/obs"
+)
+
+// ReleaseBatch is one batch of a rolling release.
+type ReleaseBatch struct {
+	Targets    []string `json:"targets"`
+	DurationNS int64    `json:"duration_ns"`
+	Errors     []string `json:"errors,omitempty"`
+}
+
+// ReleaseReport is the machine-readable summary of a release: shape,
+// outcome, per-phase time accounting derived from the span stream, the
+// registry counters bracketing the release, and the full span tree.
+type ReleaseReport struct {
+	// BatchFraction is the effective fraction used (after defaulting).
+	BatchFraction float64 `json:"batch_fraction"`
+	// Restarts and Failed count restart attempts and failures.
+	Restarts int `json:"restarts"`
+	Failed   int `json:"failed"`
+	// TotalNS is the wall-clock duration of the whole release.
+	TotalNS int64 `json:"total_ns"`
+	// Batches records per-batch targets, duration and errors.
+	Batches []ReleaseBatch `json:"batches"`
+	// CountersBefore/After snapshot the registry counters bracketing the
+	// release. Never nil.
+	CountersBefore map[string]int64 `json:"counters_before"`
+	CountersAfter  map[string]int64 `json:"counters_after"`
+	// PhaseNS sums the duration of every finished span by span name
+	// ("takeover.step.B", "slot.drain", ...); PhaseCount counts them.
+	// Never nil.
+	PhaseNS    map[string]int64 `json:"phase_ns"`
+	PhaseCount map[string]int64 `json:"phase_count"`
+	// Spans is the finished span forest (empty when tracing was off).
+	Spans []*obs.SpanNode `json:"spans,omitempty"`
+}
+
+// Total is the release's wall-clock duration.
+func (r *ReleaseReport) Total() time.Duration { return time.Duration(r.TotalNS) }
+
+// Phase returns the summed duration of all finished spans with the given
+// name (0 when the phase never ran).
+func (r *ReleaseReport) Phase(name string) time.Duration {
+	return time.Duration(r.PhaseNS[name])
+}
+
+// WriteFile marshals the report (indented JSON) to path.
+func (r *ReleaseReport) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadReleaseReport loads a report written by WriteFile.
+func ReadReleaseReport(path string) (*ReleaseReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ReleaseReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// buildReleaseReport assembles the report from the run summary, the
+// counter snapshots and the finished span stream.
+func buildReleaseReport(rep *Report, fraction float64, before, after map[string]int64, spans []obs.SpanRecord) *ReleaseReport {
+	rr := &ReleaseReport{
+		BatchFraction:  fraction,
+		Restarts:       rep.Restarts,
+		Failed:         rep.Failed,
+		TotalNS:        rep.Total.Nanoseconds(),
+		CountersBefore: before,
+		CountersAfter:  after,
+		PhaseNS:        map[string]int64{},
+		PhaseCount:     map[string]int64{},
+	}
+	if rr.CountersBefore == nil {
+		rr.CountersBefore = map[string]int64{}
+	}
+	if rr.CountersAfter == nil {
+		rr.CountersAfter = map[string]int64{}
+	}
+	for _, b := range rep.Batches {
+		rb := ReleaseBatch{
+			Targets:    append([]string(nil), b.Targets...),
+			DurationNS: b.Duration.Nanoseconds(),
+		}
+		for _, err := range b.Errors {
+			rb.Errors = append(rb.Errors, err.Error())
+		}
+		rr.Batches = append(rr.Batches, rb)
+	}
+	for _, s := range spans {
+		rr.PhaseNS[s.Name] += int64(s.Duration())
+		rr.PhaseCount[s.Name]++
+	}
+	if len(spans) > 0 {
+		rr.Spans = obs.BuildTree(spans)
+	}
+	return rr
+}

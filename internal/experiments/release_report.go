@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"zdr/internal/core"
+	"zdr/internal/obs"
+	"zdr/internal/proxy"
+)
+
+// releasePhaseOrder is the canonical presentation order for the phase
+// table: the release envelope, then the per-slot restart machinery, then
+// the six Fig. 5 takeover steps, then the drain tails.
+var releasePhaseOrder = []string{
+	"release", "release.batch", "slot.restart", "takeover.handoff",
+	"takeover.step.A", "takeover.step.B", "takeover.step.C",
+	"takeover.step.D", "takeover.step.E", "takeover.step.F",
+	"slot.drain", "proxy.drain",
+}
+
+// TblReleasePhases regenerates the release-phase breakdown: a traced
+// two-tier rolling release (Origin then Edge, real sockets, real Socket
+// Takeover hand-offs) whose ReleaseReport is folded into a table of
+// per-phase durations. It is the experiments-side consumer of the
+// machine-readable release report.
+func TblReleasePhases() (Table, error) {
+	tab, _, err := releasePhases("", nil)
+	return tab, err
+}
+
+// releasePhases runs the traced release and builds the table. When
+// reportPath is non-empty the ReleaseReport JSON is written there; hook
+// (optional) is installed as the tracer's span-start hook, which is how
+// tests inject deterministic stalls into individual takeover steps.
+func releasePhases(reportPath string, hook func(*obs.Span)) (Table, *core.ReleaseReport, error) {
+	dir, err := os.MkdirTemp("", "zdr-release-*")
+	if err != nil {
+		return Table{}, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	tracer := obs.NewTracer("experiments")
+	if hook != nil {
+		tracer.SetSpanStartHook(hook)
+	}
+
+	originGen := 0
+	origin := &core.ProxySlot{
+		SlotName:  "origin",
+		Path:      filepath.Join(dir, "origin.sock"),
+		DrainWait: 10 * time.Millisecond,
+		Build: func() *proxy.Proxy {
+			originGen++
+			return proxy.New(proxy.Config{
+				Name:       fmt.Sprintf("origin-g%d", originGen),
+				Role:       proxy.RoleOrigin,
+				AppServers: []string{"127.0.0.1:9"}, // no traffic flows
+				Trace:      tracer,
+			}, nil)
+		},
+	}
+	if err := origin.Start(); err != nil {
+		return Table{}, nil, err
+	}
+	defer origin.Close()
+
+	tunnelAddr := origin.Current().Addr(proxy.VIPTunnel)
+	edgeGen := 0
+	edge := &core.ProxySlot{
+		SlotName:  "edge",
+		Path:      filepath.Join(dir, "edge.sock"),
+		DrainWait: 10 * time.Millisecond,
+		Build: func() *proxy.Proxy {
+			edgeGen++
+			return proxy.New(proxy.Config{
+				Name:    fmt.Sprintf("edge-g%d", edgeGen),
+				Role:    proxy.RoleEdge,
+				Origins: []string{tunnelAddr},
+				Trace:   tracer,
+			}, nil)
+		},
+	}
+	if err := edge.Start(); err != nil {
+		return Table{}, nil, err
+	}
+	defer edge.Close()
+
+	rep, err := core.Run(core.Plan{BatchFraction: 0.5, Trace: tracer, ReportPath: reportPath},
+		[]core.Restartable{origin, edge}, nil)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	rr := rep.Release
+
+	// Canonical phases first, anything else (future spans) alphabetically.
+	var names []string
+	seen := map[string]bool{}
+	for _, n := range releasePhaseOrder {
+		if rr.PhaseCount[n] > 0 {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range rr.PhaseCount {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+
+	tab := Table{
+		ID:      "T-D",
+		Title:   "Release-phase durations from the machine-readable ReleaseReport",
+		Columns: []string{"phase", "count", "total (ms)", "mean (ms)"},
+		Notes: "per-phase time from the traced release span tree; the six takeover.step.* rows " +
+			"are Fig. 5's steps A-F, each appearing once per hand-off",
+	}
+	for _, n := range names {
+		total := rr.Phase(n)
+		count := rr.PhaseCount[n]
+		mean := time.Duration(0)
+		if count > 0 {
+			mean = total / time.Duration(count)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			n,
+			fmt.Sprintf("%d", count),
+			f2(float64(total) / float64(time.Millisecond)),
+			f2(float64(mean) / float64(time.Millisecond)),
+		})
+	}
+	return tab, rr, nil
+}

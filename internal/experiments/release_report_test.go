@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"zdr/internal/core"
+	"zdr/internal/obs"
+)
+
+// TestReleaseReport is the CI artifact producer: it runs the traced
+// two-tier release with a deterministic stall injected into takeover
+// step E, asserts the ReleaseReport's phase accounting separates the
+// stalled protocol step from the (short) drain phase, and proves the
+// report survives its JSON round-trip bit-for-bit. The report is written
+// to $ZDR_RELEASE_REPORT_DIR (CI uploads it) or a test temp dir.
+func TestReleaseReport(t *testing.T) {
+	const stall = 150 * time.Millisecond
+
+	dir := os.Getenv("ZDR_RELEASE_REPORT_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "release-report.json")
+
+	tab, rr, err := releasePhases(path, func(sp *obs.Span) {
+		if sp.Name() == "takeover.step.E" {
+			time.Sleep(stall)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Restarts != 2 || rr.Failed != 0 {
+		t.Fatalf("restarts/failed = %d/%d, want 2/0", rr.Restarts, rr.Failed)
+	}
+
+	// Every Fig. 5 step ran exactly once per hand-off (2 hand-offs).
+	for _, step := range []string{
+		"takeover.step.A", "takeover.step.B", "takeover.step.C",
+		"takeover.step.D", "takeover.step.E", "takeover.step.F",
+	} {
+		if got := rr.PhaseCount[step]; got != 2 {
+			t.Errorf("PhaseCount[%s] = %d, want 2", step, got)
+		}
+	}
+
+	// Phase accounting localises the stall: step E absorbed it on both
+	// hand-offs, while the drain phase (10ms DrainWait per slot) stayed
+	// far below the stall.
+	if got := rr.Phase("takeover.step.E"); got < 2*stall {
+		t.Errorf("Phase(takeover.step.E) = %v, want >= %v", got, 2*stall)
+	}
+	// Comparative rather than absolute (drain is ~20ms of work but CI
+	// scheduling noise can inflate it): the stalled protocol step must
+	// dominate the drain phase.
+	if drain, stepE := rr.Phase("slot.drain"), rr.Phase("takeover.step.E"); drain >= stepE {
+		t.Errorf("Phase(slot.drain) = %v not below Phase(takeover.step.E) = %v — stall misattributed", drain, stepE)
+	}
+	if rr.Phase("release") < rr.Phase("takeover.step.E") {
+		t.Error("release envelope shorter than a phase inside it")
+	}
+
+	// The JSON on disk reloads to a deep-equal report.
+	back, err := core.ReadReleaseReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rr, back) {
+		t.Fatal("ReleaseReport did not survive the JSON round-trip")
+	}
+
+	// And the table consumed the same phases.
+	var sawStepE bool
+	for _, row := range tab.Rows {
+		if row[0] == "takeover.step.E" {
+			sawStepE = true
+			if ms := num(t, row[2]); ms < float64(2*stall/time.Millisecond) {
+				t.Errorf("table total for step E = %vms, want >= %v", ms, 2*stall)
+			}
+		}
+	}
+	if !sawStepE {
+		t.Fatal("phase table has no takeover.step.E row")
+	}
+}
+
+func TestTblReleasePhasesShape(t *testing.T) {
+	tab, err := TblReleasePhases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "T-D" {
+		t.Fatalf("ID = %q", tab.ID)
+	}
+	want := map[string]bool{"release": false, "takeover.handoff": false, "slot.drain": false}
+	for _, row := range tab.Rows {
+		if _, ok := want[row[0]]; ok {
+			want[row[0]] = true
+		}
+	}
+	for phase, ok := range want {
+		if !ok {
+			t.Errorf("phase table missing %q row", phase)
+		}
+	}
+}

@@ -112,6 +112,7 @@ func All() []Experiment {
 		{"T-A", TblPPRRetries},
 		{"T-B", TblHeadlineBenefits},
 		{"T-C", TblPeakHourRelease},
+		{"T-D", TblReleasePhases},
 	}
 }
 

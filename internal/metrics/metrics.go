@@ -66,12 +66,12 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // appropriate for experiment-scale data volumes.
 type Histogram struct {
 	mu         sync.Mutex
-	samples    []float64
+	samples    []float64 // retained samples, always in arrival order
+	sortCache  []float64 // sorted copy of samples; nil when stale
 	count      int64
 	sum        float64
 	min, max   float64
 	maxSamples int
-	sorted     bool
 }
 
 // NewHistogram returns a histogram bounded to maxSamples retained samples.
@@ -96,8 +96,10 @@ func (h *Histogram) Observe(v float64) {
 		h.max = v
 	}
 	if len(h.samples) >= h.maxSamples {
-		// Decimate: drop every other sample. Cheap, deterministic, and
-		// keeps tails reasonably intact for experiment volumes.
+		// Decimate: drop every other sample *in arrival order*. Samples
+		// are never reordered in place (quantiles sort a cached copy), so
+		// the survivors stay an unbiased stride over time rather than a
+		// stride over the sorted values, which would thin one tail.
 		kept := h.samples[:0]
 		for i := 0; i < len(h.samples); i += 2 {
 			kept = append(kept, h.samples[i])
@@ -105,7 +107,7 @@ func (h *Histogram) Observe(v float64) {
 		h.samples = kept
 	}
 	h.samples = append(h.samples, v)
-	h.sorted = false
+	h.sortCache = nil
 }
 
 // Count returns the number of observations.
@@ -165,24 +167,24 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
+	if h.sortCache == nil {
+		h.sortCache = append(make([]float64, 0, n), h.samples...)
+		sort.Float64s(h.sortCache)
 	}
 	if q <= 0 {
-		return h.samples[0]
+		return h.sortCache[0]
 	}
 	if q >= 1 {
-		return h.samples[n-1]
+		return h.sortCache[n-1]
 	}
 	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return h.samples[lo]
+		return h.sortCache[lo]
 	}
 	frac := pos - float64(lo)
-	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
+	return h.sortCache[lo]*(1-frac) + h.sortCache[hi]*frac
 }
 
 // Quantiles returns several quantiles at once under a single lock.
@@ -198,9 +200,14 @@ func (h *Histogram) Quantiles(qs ...float64) []float64 {
 
 // Snapshot summarises the histogram.
 type Snapshot struct {
-	Count               int64
-	Mean, Min, Max      float64
-	P50, P90, P99, P999 float64
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
 
 // Snapshot returns a consistent summary of the histogram.
@@ -392,26 +399,59 @@ func (r *Registry) CounterNames() []string {
 	return names
 }
 
-// Dump renders all counters and gauges as "name value" lines, sorted by
-// name — useful for debugging test failures.
-func (r *Registry) Dump() string {
+// RegistrySnapshot is a plain copy of every metric in a Registry at one
+// instant, shared by Dump, the Prometheus renderer, and release reports.
+type RegistrySnapshot struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms map[string]Snapshot `json:"histograms"`
+}
+
+// Snapshot captures every counter, gauge, and histogram in the registry.
+// The returned maps are never nil.
+func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	type kv struct {
-		k string
-		v int64
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]Snapshot, len(r.histograms)),
 	}
-	var rows []kv
+	hists := make(map[string]*Histogram, len(r.histograms))
 	for n, c := range r.counters {
-		rows = append(rows, kv{"counter " + n, c.Value()})
+		snap.Counters[n] = c.Value()
 	}
 	for n, g := range r.gauges {
-		rows = append(rows, kv{"gauge " + n, g.Value()})
+		snap.Gauges[n] = g.Value()
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	for n, h := range r.histograms {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	for n, h := range hists {
+		snap.Histograms[n] = h.Snapshot()
+	}
+	return snap
+}
+
+// Dump renders all counters, gauges, and histogram summaries as sorted
+// text lines — useful for debugging test failures and the STATS probe.
+func (r *Registry) Dump() string {
+	snap := r.Snapshot()
+	var rows []string
+	for n, v := range snap.Counters {
+		rows = append(rows, fmt.Sprintf("counter %s %d", n, v))
+	}
+	for n, v := range snap.Gauges {
+		rows = append(rows, fmt.Sprintf("gauge %s %d", n, v))
+	}
+	for n, s := range snap.Histograms {
+		rows = append(rows, fmt.Sprintf("histogram %s count=%d mean=%g p50=%g p99=%g",
+			n, s.Count, s.Mean, s.P50, s.P99))
+	}
+	sort.Strings(rows)
 	out := ""
 	for _, row := range rows {
-		out += fmt.Sprintf("%s %d\n", row.k, row.v)
+		out += row + "\n"
 	}
 	return out
 }

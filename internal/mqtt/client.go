@@ -16,6 +16,7 @@ type Client struct {
 	conn         net.Conn
 	clientID     string
 	cleanSession bool
+	props        map[string]string
 
 	mu       sync.Mutex
 	nextID   uint16
@@ -42,6 +43,16 @@ func NewClient(conn net.Conn, clientID string, cleanSession bool) *Client {
 	}
 }
 
+// SetConnectProperty attaches a key/value property to the CONNECT packet
+// sent by Connect (e.g. the x-zdr-trace context). Must be called before
+// Connect.
+func (c *Client) SetConnectProperty(k, v string) {
+	if c.props == nil {
+		c.props = map[string]string{}
+	}
+	c.props[k] = v
+}
+
 // ErrClientClosed is returned after the client's transport dies.
 var ErrClientClosed = errors.New("mqtt: client closed")
 
@@ -56,6 +67,7 @@ func (c *Client) Connect(keepAlive time.Duration, timeout time.Duration) (*Packe
 		ClientID:     c.clientID,
 		CleanSession: c.cleanSession,
 		KeepAlive:    uint16(keepAlive / time.Second),
+		Properties:   c.props,
 	})
 	if err != nil {
 		return nil, err

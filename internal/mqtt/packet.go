@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // PacketType is the MQTT control packet type (high nibble of byte 1).
@@ -81,6 +82,11 @@ type Packet struct {
 	// CleanSession, when false, asks the broker to resume existing
 	// session state — the property DCR relies on.
 	CleanSession bool
+	// Properties are optional key/value pairs appended after the
+	// ClientID in the CONNECT payload (carrying e.g. the x-zdr-trace
+	// context). Decoders that predate the extension ignore the trailing
+	// bytes, so the wire stays compatible in both directions.
+	Properties map[string]string
 
 	// CONNACK
 	SessionPresent bool
@@ -183,6 +189,18 @@ func Encode(w io.Writer, p *Packet) error {
 		body = append(body, connectFlags)
 		body = binary.BigEndian.AppendUint16(body, p.KeepAlive)
 		body = appendString(body, p.ClientID)
+		if len(p.Properties) > 0 {
+			keys := make([]string, 0, len(p.Properties))
+			for k := range p.Properties {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			body = binary.BigEndian.AppendUint16(body, uint16(len(keys)))
+			for _, k := range keys {
+				body = appendString(body, k)
+				body = appendString(body, p.Properties[k])
+			}
+		}
 	case CONNACK:
 		var sp uint8
 		if p.SessionPresent {
@@ -259,10 +277,12 @@ func Decode(r io.Reader) (*Packet, error) {
 		}
 		p.CleanSession = rest[1]&0x02 != 0
 		p.KeepAlive = binary.BigEndian.Uint16(rest[2:4])
-		p.ClientID, _, err = takeString(rest[4:])
+		var trailer []byte
+		p.ClientID, trailer, err = takeString(rest[4:])
 		if err != nil {
 			return nil, err
 		}
+		p.Properties = decodeConnectProperties(trailer)
 	case CONNACK:
 		if len(body) != 2 {
 			return nil, errMalformed
@@ -328,6 +348,33 @@ func Decode(r io.Reader) (*Packet, error) {
 		return nil, fmt.Errorf("mqtt: unknown packet type %d", ptype)
 	}
 	return p, nil
+}
+
+// decodeConnectProperties parses the optional key/value trailer after the
+// ClientID. Best-effort: a trailer this decoder does not understand is
+// ignored (it may belong to a future extension), never an error.
+func decodeConnectProperties(b []byte) map[string]string {
+	if len(b) < 2 {
+		return nil
+	}
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	props := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		var k, v string
+		var err error
+		if k, b, err = takeString(b); err != nil {
+			return nil
+		}
+		if v, b, err = takeString(b); err != nil {
+			return nil
+		}
+		props[k] = v
+	}
+	if len(props) == 0 {
+		return nil
+	}
+	return props
 }
 
 // TopicMatches reports whether topic matches filter, honouring the MQTT

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"zdr/internal/metrics"
+)
+
+// SlotState describes one release slot (or single-instance daemon) for
+// /debug/release.
+type SlotState struct {
+	Name           string `json:"name"`
+	Generation     int    `json:"generation"`
+	Draining       bool   `json:"draining"`
+	TakeoverArmed  bool   `json:"takeover_armed"`
+	ArmError       string `json:"arm_error,omitempty"`
+	Takeovers      int64  `json:"takeovers"`
+	TakeoverAborts int64  `json:"takeover_aborts"`
+	Drains         int64  `json:"drains"`
+}
+
+// ReleaseState is the JSON body served at /debug/release: the release
+// state machine as seen from one process.
+type ReleaseState struct {
+	Service       string       `json:"service"`
+	Draining      bool         `json:"draining"`
+	Slots         []SlotState  `json:"slots,omitempty"`
+	InFlightSpans []SpanRecord `json:"in_flight_spans,omitempty"`
+}
+
+// Admin serves the admin exposition endpoints over plain net/http:
+//
+//	/metrics        Prometheus text format from Registry
+//	/healthz        200 "ok" normally, 503 "draining" while Draining()
+//	/debug/release  ReleaseState JSON (in-flight spans filled from Tracer)
+//
+// All fields are optional; absent ones degrade to empty output.
+type Admin struct {
+	Service      string
+	Registry     *metrics.Registry
+	Tracer       *Tracer
+	Draining     func() bool
+	ReleaseState func() ReleaseState
+}
+
+// Handler returns the admin HTTP handler.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if a.Registry != nil {
+			w.Write([]byte(RenderPrometheus(a.Registry.Snapshot())))
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if a.Draining != nil && a.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/release", func(w http.ResponseWriter, req *http.Request) {
+		state := ReleaseState{Service: a.Service}
+		if a.ReleaseState != nil {
+			state = a.ReleaseState()
+		} else if a.Draining != nil {
+			state.Draining = a.Draining()
+		}
+		if len(state.InFlightSpans) == 0 {
+			state.InFlightSpans = a.Tracer.InFlight()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(state)
+	})
+	return mux
+}
+
+// AdminServer is a running admin listener.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds addr (e.g. "127.0.0.1:9090"; port 0 picks a free port) and
+// serves the admin endpoints until Close.
+func (a *Admin) Start(addr string) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: a.Handler()}
+	go srv.Serve(ln)
+	return &AdminServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address.
+func (s *AdminServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *AdminServer) Close() error { return s.srv.Close() }

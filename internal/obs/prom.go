@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"zdr/internal/metrics"
+)
+
+// PromName maps a dotted registry name ("proxy.http.status.200") to a
+// Prometheus-legal metric name ("zdr_proxy_http_status_200"): every
+// character outside [a-zA-Z0-9_:] becomes '_', and everything is
+// prefixed with "zdr_" to namespace the exposition.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("zdr_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// RenderPrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as their native
+// types, histograms as summaries with quantile labels plus _sum and
+// _count series. Output is sorted by metric name, so it is stable.
+func RenderPrometheus(snap metrics.RegistrySnapshot) string {
+	var b strings.Builder
+
+	counterNames := sortedKeys(snap.Counters)
+	for _, n := range counterNames {
+		pn := PromName(n)
+		b.WriteString("# TYPE " + pn + " counter\n")
+		b.WriteString(pn + " " + strconv.FormatInt(snap.Counters[n], 10) + "\n")
+	}
+
+	gaugeNames := sortedKeys(snap.Gauges)
+	for _, n := range gaugeNames {
+		pn := PromName(n)
+		b.WriteString("# TYPE " + pn + " gauge\n")
+		b.WriteString(pn + " " + strconv.FormatInt(snap.Gauges[n], 10) + "\n")
+	}
+
+	histNames := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	for _, n := range histNames {
+		s := snap.Histograms[n]
+		pn := PromName(n)
+		b.WriteString("# TYPE " + pn + " summary\n")
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{
+			{"0.5", s.P50}, {"0.9", s.P90}, {"0.99", s.P99}, {"0.999", s.P999},
+		} {
+			b.WriteString(pn + `{quantile="` + q.label + `"} ` + promFloat(q.v) + "\n")
+		}
+		b.WriteString(pn + "_sum " + promFloat(s.Mean*float64(s.Count)) + "\n")
+		b.WriteString(pn + "_count " + strconv.FormatInt(s.Count, 10) + "\n")
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"zdr/internal/h2t"
 	"zdr/internal/http1"
 	"zdr/internal/mqtt"
+	"zdr/internal/obs"
 )
 
 // tunnelEntry tracks one Edge→Origin tunnel session.
@@ -110,9 +111,21 @@ func (p *Proxy) handleEdgeHTTPConn(conn net.Conn) {
 }
 
 func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
+	// Join (or start) the request trace: a client-supplied x-zdr-trace
+	// makes this span a remote child; the context is forwarded over the
+	// tunnel either way so the Origin and app-server spans stitch into
+	// one trace.
+	incoming := req.Header.Get(obs.TraceHeader)
+	remote, _ := obs.ParseSpanContext(incoming)
+	sp := p.cfg.Trace.StartSpan("edge.http", remote)
+	sp.SetAttr("method", req.Method)
+	sp.SetAttr("path", req.Target)
+	defer sp.End()
+
 	// Direct Server Return for cached content.
 	if body, ok := p.cfg.StaticContent[req.Target]; ok && req.Method == "GET" {
 		p.reg.Counter("edge.http.dsr").Inc()
+		sp.SetAttr("dsr", "hit")
 		resp := http1.NewResponse(200, bytes.NewReader(body), int64(len(body)))
 		resp.Header.Set("X-Cache", "HIT")
 		resp.Header.Set("Via", p.cfg.Name)
@@ -123,6 +136,11 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 	hdr := map[string]string{
 		":method": req.Method,
 		":path":   req.Target,
+	}
+	if traceCtx := sp.Context().String(); traceCtx != "" {
+		hdr[obs.TraceHeader] = traceCtx
+	} else if incoming != "" {
+		hdr[obs.TraceHeader] = incoming
 	}
 	if req.ContentLength >= 0 {
 		hdr["content-length"] = strconv.FormatInt(req.ContentLength, 10)
@@ -137,6 +155,7 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 		te, err := p.originSessionFor("")
 		if err != nil {
 			p.reg.Counter("edge.http.errors.no_origin").Inc()
+			sp.Fail(err)
 			http1.WriteResponse(conn, http1.NewResponse(503, nil, 0))
 			return false
 		}
@@ -151,6 +170,7 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 	}
 	if st == nil {
 		p.reg.Counter("edge.http.errors.open_stream").Inc()
+		sp.Fail(errors.New("proxy: open stream failed"))
 		http1.WriteResponse(conn, http1.NewResponse(502, nil, 0))
 		return false
 	}
@@ -171,6 +191,7 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 	respHdr, err := st.RecvHeaders(p.cfg.UpstreamResponseTimeout)
 	if err != nil {
 		p.reg.Counter("edge.http.errors.upstream").Inc()
+		sp.Fail(err)
 		st.Reset()
 		http1.WriteResponse(conn, http1.NewResponse(504, nil, 0))
 		return false
@@ -179,6 +200,7 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 	if code == 0 {
 		code = 502
 	}
+	sp.SetAttr("status", strconv.Itoa(code))
 	p.reg.Counter(fmt.Sprintf("edge.http.status.%d", code)).Inc()
 
 	resp := http1.NewResponse(code, st, -1)
@@ -264,13 +286,28 @@ func (p *Proxy) handleEdgeMQTTConn(conn net.Conn) {
 	conn.SetReadDeadline(time.Time{})
 	userID := connectPkt.ClientID
 
+	// Clients may carry a trace context in CONNECT properties; it rides
+	// the tunnel stream headers so the Origin relay joins the same trace.
+	remote, _ := obs.ParseSpanContext(connectPkt.Properties[obs.TraceHeader])
+	sp := p.cfg.Trace.StartSpan("edge.mqtt.connect", remote)
+	sp.SetAttr("user-id", userID)
+	defer sp.End()
+
 	te, err := p.originSessionFor("")
 	if err != nil {
+		sp.Fail(err)
 		conn.Close()
 		return
 	}
-	st, err := te.sess.OpenStream(map[string]string{"proto": "mqtt", "user-id": userID}, false)
+	streamHdr := map[string]string{"proto": "mqtt", "user-id": userID}
+	if traceCtx := sp.Context().String(); traceCtx != "" {
+		streamHdr[obs.TraceHeader] = traceCtx
+	} else if v := connectPkt.Properties[obs.TraceHeader]; v != "" {
+		streamHdr[obs.TraceHeader] = v
+	}
+	st, err := te.sess.OpenStream(streamHdr, false)
 	if err != nil {
+		sp.Fail(err)
 		conn.Close()
 		return
 	}
@@ -393,7 +430,14 @@ func (p *Proxy) pumpUntilSwap(relay *mqttRelay, st *h2t.Stream) bool {
 		case c := <-st.Controls():
 			if c.Type == h2t.FrameReconnectSolicitation {
 				p.reg.Counter("edge.mqtt.solicitations").Inc()
-				if p.reconnectThroughAnotherOrigin(relay) {
+				// Payload: "<user-id>\n<trace-context>"; older senders
+				// sent the bare user-id, so a missing second line just
+				// means an untraced drain.
+				peerTrace := ""
+				if i := bytes.IndexByte(c.Payload, '\n'); i >= 0 {
+					peerTrace = string(c.Payload[i+1:])
+				}
+				if p.reconnectThroughAnotherOrigin(relay, peerTrace) {
 					return true
 				}
 				// Refused or failed: keep pumping the old stream until it
@@ -405,8 +449,14 @@ func (p *Proxy) pumpUntilSwap(relay *mqttRelay, st *h2t.Stream) bool {
 
 // reconnectThroughAnotherOrigin performs the §4.2 DCR transaction:
 // re_connect (with user-id) via a different healthy Origin; on connect_ack
-// splice the relay onto the new stream; on connect_refuse give up.
-func (p *Proxy) reconnectThroughAnotherOrigin(relay *mqttRelay) bool {
+// splice the relay onto the new stream; on connect_refuse give up. The
+// dcr.reconnect span joins the draining Origin's trace via the context
+// carried in the solicitation payload.
+func (p *Proxy) reconnectThroughAnotherOrigin(relay *mqttRelay, peerTrace string) bool {
+	remote, _ := obs.ParseSpanContext(peerTrace)
+	sp := p.cfg.Trace.StartSpan("dcr.reconnect", remote)
+	sp.SetAttr("user-id", relay.userID)
+	defer sp.End()
 	te, err := p.originSessionFor(relay.originAddr)
 	if err != nil {
 		// Fall back to any origin (the restarting one's new instance
@@ -414,12 +464,20 @@ func (p *Proxy) reconnectThroughAnotherOrigin(relay *mqttRelay) bool {
 		te, err = p.originSessionFor("")
 		if err != nil {
 			p.reg.Counter("edge.mqtt.reconnect.failed").Inc()
+			sp.Fail(err)
 			return false
 		}
 	}
-	st, err := te.sess.OpenStream(map[string]string{"proto": "mqtt-resume", "user-id": relay.userID}, false)
+	streamHdr := map[string]string{"proto": "mqtt-resume", "user-id": relay.userID}
+	if traceCtx := sp.Context().String(); traceCtx != "" {
+		streamHdr[obs.TraceHeader] = traceCtx
+	} else if peerTrace != "" {
+		streamHdr[obs.TraceHeader] = peerTrace
+	}
+	st, err := te.sess.OpenStream(streamHdr, false)
 	if err != nil {
 		p.reg.Counter("edge.mqtt.reconnect.failed").Inc()
+		sp.Fail(err)
 		return false
 	}
 	ackTimer := time.NewTimer(p.cfg.DCRAckTimeout)
@@ -434,14 +492,17 @@ func (p *Proxy) reconnectThroughAnotherOrigin(relay *mqttRelay) bool {
 			}
 			relay.originAddr = te.addr
 			p.reg.Counter("edge.mqtt.reconnect.ack").Inc()
+			sp.SetAttr("result", "ack")
 			return true
 		default:
 			p.reg.Counter("edge.mqtt.reconnect.refused").Inc()
+			sp.Fail(errors.New("proxy: re_connect refused"))
 			st.Reset()
 			return false
 		}
 	case <-ackTimer.C:
 		p.reg.Counter("edge.mqtt.reconnect.timeout").Inc()
+		sp.Fail(errors.New("proxy: connect_ack timeout"))
 		st.Reset()
 		return false
 	}

@@ -14,6 +14,7 @@ import (
 	"zdr/internal/h2t"
 	"zdr/internal/http1"
 	"zdr/internal/mqtt"
+	"zdr/internal/obs"
 )
 
 // originSession tracks one Edge-facing tunnel session on the Origin, with
@@ -47,7 +48,9 @@ func (os *originSession) removeRelay(st *h2t.Stream) {
 // startDrain performs the Origin side of a graceful restart: GOAWAY on
 // the tunnel (no new streams) and reconnect_solicitation on every MQTT
 // relay stream (§4.2 step A). HTTP streams in flight run to completion.
-func (os *originSession) startDrain() {
+// trace, when non-empty, is the drain span's wire context; it rides the
+// solicitation payload so the Edge's dcr.reconnect spans join the trace.
+func (os *originSession) startDrain(trace string) {
 	os.sess.GoAway()
 	os.mu.Lock()
 	relays := make([]*brokerRelay, 0, len(os.relays))
@@ -56,7 +59,11 @@ func (os *originSession) startDrain() {
 	}
 	os.mu.Unlock()
 	for _, r := range relays {
-		r.stream.SendControl(h2t.FrameReconnectSolicitation, []byte(r.userID))
+		payload := r.userID
+		if trace != "" {
+			payload += "\n" + trace
+		}
+		r.stream.SendControl(h2t.FrameReconnectSolicitation, []byte(payload))
 		os.p.reg.Counter("origin.mqtt.solicitations_sent").Inc()
 	}
 }
@@ -120,9 +127,9 @@ func (p *Proxy) handleTunnelStream(os *originSession, st *h2t.Stream) {
 	hdr := st.Headers()
 	switch hdr["proto"] {
 	case "mqtt":
-		p.relayMQTT(os, st, hdr["user-id"], false)
+		p.relayMQTT(os, st, hdr["user-id"], hdr[obs.TraceHeader], false)
 	case "mqtt-resume":
-		p.relayMQTT(os, st, hdr["user-id"], true)
+		p.relayMQTT(os, st, hdr["user-id"], hdr[obs.TraceHeader], true)
 	default:
 		p.forwardHTTP(st, hdr)
 	}
@@ -143,22 +150,39 @@ func (p *Proxy) pickBroker(userID string) (string, error) {
 // CONNECT(CleanSession=false) handshake with the broker and reports the
 // verdict to the Edge as connect_ack / connect_refuse before splicing into
 // plain byte relaying.
-func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID string, resume bool) {
+func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID, trace string, resume bool) {
+	// The span covers connection establishment (broker dial and, on a DCR
+	// re_connect, the CONNECT/CONNACK verdict), not the relay lifetime.
+	remote, _ := obs.ParseSpanContext(trace)
+	spanName := "origin.mqtt.connect"
+	if resume {
+		spanName = "origin.mqtt.resume"
+	}
+	sp := p.cfg.Trace.StartSpan(spanName, remote)
+	sp.SetAttr("user-id", userID)
+	fail := func(err error) {
+		sp.Fail(err)
+		sp.End()
+	}
 	if userID == "" {
+		fail(errors.New("proxy: missing user-id"))
 		st.Reset()
 		return
 	}
 	brokerAddr, err := p.pickBroker(userID)
 	if err != nil {
+		fail(err)
 		st.Reset()
 		return
 	}
+	sp.SetAttr("broker", brokerAddr)
 	bconn, err := p.dialUpstream(brokerAddr)
 	if err != nil {
 		p.reg.Counter("origin.mqtt.broker_dial_failed").Inc()
 		if resume {
 			st.SendControl(h2t.FrameConnectRefuse, nil)
 		}
+		fail(err)
 		st.Reset()
 		return
 	}
@@ -169,6 +193,7 @@ func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID string, resu
 		if err := mqtt.Encode(bconn, &mqtt.Packet{Type: mqtt.CONNECT, ClientID: userID, CleanSession: false}); err != nil {
 			st.SendControl(h2t.FrameConnectRefuse, nil)
 			bconn.Close()
+			fail(err)
 			st.Reset()
 			return
 		}
@@ -179,16 +204,19 @@ func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID string, resu
 			p.reg.Counter("origin.mqtt.resume_refused").Inc()
 			st.SendControl(h2t.FrameConnectRefuse, nil)
 			bconn.Close()
+			fail(errors.New("proxy: broker refused resume"))
 			st.Reset()
 			return
 		}
 		p.reg.Counter("origin.mqtt.resume_ack").Inc()
 		if err := st.SendControl(h2t.FrameConnectAck, nil); err != nil {
 			bconn.Close()
+			fail(err)
 			st.Reset()
 			return
 		}
 	}
+	sp.End()
 
 	relay := &brokerRelay{stream: st, conn: bconn, userID: userID}
 	os.addRelay(relay)
@@ -232,6 +260,16 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 	}
 	p.reg.Counter("origin.http.requests").Inc()
 
+	remote, _ := obs.ParseSpanContext(hdr[obs.TraceHeader])
+	sp := p.cfg.Trace.StartSpan("origin.http", remote)
+	sp.SetAttr("method", method)
+	sp.SetAttr("path", path)
+	defer sp.End()
+	downstreamTrace := hdr[obs.TraceHeader]
+	if c := sp.Context().String(); c != "" {
+		downstreamTrace = c
+	}
+
 	var replay []byte // partial body handed back by a restarting server
 	var body io.Reader = st
 	if method != "POST" && method != "PUT" {
@@ -247,9 +285,18 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 			lastErr = errors.New("proxy: no app servers configured")
 			break
 		}
-		resp, _, conn, err := p.attemptAppServer(asAddr, method, path, cl, replay, body)
+		var attSp *obs.Span
+		if replay != nil {
+			// This attempt replays a 379 hand-back (§4.3).
+			attSp = sp.StartChild("ppr.replay")
+			attSp.SetAttr("attempt", strconv.Itoa(attempt))
+			attSp.SetAttr("app-server", asAddr)
+		}
+		resp, _, conn, err := p.attemptAppServer(asAddr, method, path, cl, replay, body, downstreamTrace)
 		if err != nil {
 			lastErr = err
+			attSp.Fail(err)
+			attSp.End()
 			p.reg.Counter("origin.http.attempt_errors").Inc()
 			// Back off before redialing: a restarting app server needs a
 			// moment to rebind (§4.4). PPR replays (the 379 path below)
@@ -265,6 +312,8 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 			// plus whatever the client is still sending.
 			partial, err := http1.ReadFullBody(resp.Body)
 			conn.Close()
+			attSp.SetAttr("result", "379")
+			attSp.End()
 			if err != nil {
 				lastErr = err
 				continue
@@ -274,13 +323,15 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 			continue
 		}
 		// Success (or a terminal app error): relay to the Edge.
+		attSp.End()
+		sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
 		p.relayResponse(st, resp)
 		conn.Close()
 		return
 	}
 	// All attempts failed: the paper's fallback — a standard 500.
 	p.reg.Counter("origin.http.ppr_exhausted").Inc()
-	_ = lastErr
+	sp.Fail(lastErr)
 	st.SendHeaders(map[string]string{"status": "500"}, true)
 }
 
@@ -303,7 +354,7 @@ func (p *Proxy) nextAppServer(attempt int) string {
 // arrives mid-upload stops forwarding promptly (the restarting server
 // grace-reads everything sent before that moment, preserving the
 // no-byte-lost invariant). On return the caller owns conn.
-func (p *Proxy) attemptAppServer(addr, method, path string, cl int64, replay []byte, rest io.Reader) (*http1.Response, *bufio.Reader, net.Conn, error) {
+func (p *Proxy) attemptAppServer(addr, method, path string, cl int64, replay []byte, rest io.Reader, trace string) (*http1.Response, *bufio.Reader, net.Conn, error) {
 	conn, err := p.dialUpstream(addr)
 	if err != nil {
 		return nil, nil, nil, err
@@ -330,6 +381,9 @@ func (p *Proxy) attemptAppServer(addr, method, path string, cl int64, replay []b
 	// Head.
 	var head bytes.Buffer
 	fmt.Fprintf(&head, "%s %s HTTP/1.1\r\n", method, path)
+	if trace != "" {
+		fmt.Fprintf(&head, "X-Zdr-Trace: %s\r\n", trace)
+	}
 	hasBody := rest != nil || len(replay) > 0
 	chunked := false
 	switch {

@@ -33,6 +33,7 @@ import (
 	"zdr/internal/consistent"
 	"zdr/internal/faults"
 	"zdr/internal/metrics"
+	"zdr/internal/obs"
 	"zdr/internal/quicx"
 	"zdr/internal/takeover"
 )
@@ -114,9 +115,15 @@ type Config struct {
 	// connections they produce. Nil disables injection.
 	Faults *faults.Injector
 	// AcceptFaults optionally injects deterministic faults into
-	// connections accepted on this proxy's TCP VIPs. Nil disables
-	// injection.
+	// connections accepted on this proxy's TCP VIPs and datagrams on its
+	// UDP VIP. Nil disables injection.
 	AcceptFaults *faults.Injector
+
+	// Trace optionally records release-path spans (takeover hand-offs,
+	// drains, DCR reconnects, PPR replays, per-request spans) and joins
+	// remote traces arriving in x-zdr-trace headers. Nil disables
+	// tracing; propagation of incoming contexts still works.
+	Trace *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -165,9 +172,10 @@ type Proxy struct {
 	// quic is the Edge's UDP stack (nil unless EnableQUIC).
 	quic *quicx.Server
 
-	takeSrv *takeover.Server
-	drainCh chan struct{}
-	wg      sync.WaitGroup
+	takeSrv   *takeover.Server
+	drainSpan *obs.Span
+	drainCh   chan struct{}
+	wg        sync.WaitGroup
 }
 
 // New creates a proxy. reg may be nil.
@@ -254,7 +262,10 @@ func (p *Proxy) Adopt(set *takeover.ListenerSet) error {
 			p.serveLoop(ln, p.handleEdgeMQTTConn)
 		}
 		if pc := set.UDP(VIPQUIC); pc != nil {
-			q := quicx.NewServer(p.cfg.Name+"/quic", pc, p.quicHandler, p.reg)
+			// The shared *net.UDPConn stays in the listener set for FD
+			// hand-off; the serving stack sees it through the optional
+			// fault-injecting PacketConn wrapper.
+			q := quicx.NewServer(p.cfg.Name+"/quic", p.cfg.AcceptFaults.PacketConn(pc), p.quicHandler, p.reg)
 			p.mu.Lock()
 			p.quic = q
 			p.mu.Unlock()
@@ -404,8 +415,10 @@ func (p *Proxy) ServeTakeover(path string) error {
 	}
 	srv := &takeover.Server{
 		Set: set,
-		OnDrainStart: func(takeover.Result) {
-			p.StartDraining()
+		OnDrainStart: func(res takeover.Result) {
+			// Join the receiver's hand-off trace (ack.Trace) so the old
+			// instance's drain appears under the new instance's span tree.
+			p.startDrainingTraced(res.PeerTrace)
 		},
 		OnHandoffError: func(error) {
 			// The receiver died or misbehaved mid-handoff; this instance
@@ -441,12 +454,34 @@ func (p *Proxy) ServeTakeover(path string) error {
 // TakeoverFrom connects to the old instance's takeover server, receives
 // the listener set, and starts serving on it (Fig. 5 steps B–D and F).
 func (p *Proxy) TakeoverFrom(path string) (*takeover.Result, error) {
-	set, res, err := takeover.Connect(path, 0)
+	return p.TakeoverFromTraced(path, nil)
+}
+
+// TakeoverFromTraced is TakeoverFrom recorded under a takeover.handoff
+// span: a child of parent when given, else a root span on Config.Trace,
+// else untraced. The six Fig. 5 steps appear as takeover.step.A–F
+// children (A–E from the protocol exchange, F covering adoption and the
+// transfer of health-check responsibility).
+func (p *Proxy) TakeoverFromTraced(path string, parent *obs.Span) (*takeover.Result, error) {
+	hand := parent.StartChild("takeover.handoff")
+	if hand == nil {
+		hand = p.cfg.Trace.StartSpan("takeover.handoff", obs.SpanContext{})
+	}
+	hand.SetAttr("instance", p.cfg.Name)
+	hand.SetAttr("path", path)
+	set, res, err := takeover.ConnectTraced(path, 0, takeover.DefaultConnectBackoff, hand)
 	if err != nil {
+		hand.Fail(err)
+		hand.End()
 		return nil, err
 	}
+	spF := hand.StartChild("takeover.step.F")
 	if err := p.Adopt(set); err != nil {
 		set.Close()
+		spF.Fail(err)
+		spF.End()
+		hand.Fail(err)
+		hand.End()
 		return nil, err
 	}
 	if fwd, ok := res.Meta["quic-forward"]; ok {
@@ -459,7 +494,10 @@ func (p *Proxy) TakeoverFrom(path string) (*takeover.Result, error) {
 			}
 		}
 	}
+	spF.SetAttr("vips", fmt.Sprintf("%d", len(res.VIPs)))
+	spF.End()
 	p.reg.Counter("proxy.takeovers").Inc()
+	hand.End()
 	return res, nil
 }
 
@@ -471,7 +509,13 @@ func (p *Proxy) TakeoverFrom(path string) (*takeover.Result, error) {
 //   - Origin: GOAWAY on every tunnel session and reconnect_solicitation
 //     on every relayed MQTT stream (§4.2 step A);
 //   - existing connections continue to be served until Shutdown.
-func (p *Proxy) StartDraining() {
+func (p *Proxy) StartDraining() { p.startDrainingTraced("") }
+
+// startDrainingTraced is StartDraining joined to the peer's trace (the
+// new instance's hand-off span, in wire form) when one is known. The
+// proxy.drain span stays open until terminate, covering the whole drain
+// window.
+func (p *Proxy) startDrainingTraced(peerTrace string) {
 	p.mu.Lock()
 	if p.draining || p.closed {
 		p.mu.Unlock()
@@ -483,6 +527,10 @@ func (p *Proxy) StartDraining() {
 	for s := range p.srvSessions {
 		sessions = append(sessions, s)
 	}
+	remote, _ := obs.ParseSpanContext(peerTrace)
+	sp := p.cfg.Trace.StartSpan("proxy.drain", remote)
+	sp.SetAttr("instance", p.cfg.Name)
+	p.drainSpan = sp
 	p.mu.Unlock()
 	close(p.drainCh)
 	p.reg.Counter("proxy.drains").Inc()
@@ -501,8 +549,11 @@ func (p *Proxy) StartDraining() {
 	if quic != nil {
 		quic.StartDraining()
 	}
+	// Relayed MQTT streams get the drain span's context in the
+	// solicitation payload, so the Edge's dcr.reconnect spans join this
+	// trace (§4.2 step A).
 	for _, s := range sessions {
-		s.startDrain()
+		s.startDrain(sp.Context().String())
 	}
 }
 
@@ -528,6 +579,8 @@ func (p *Proxy) terminate() {
 		p.draining = true
 		close(p.drainCh)
 	}
+	drainSpan := p.drainSpan
+	p.drainSpan = nil
 	set := p.set
 	takeSrv := p.takeSrv
 	tunnels := make([]*tunnelEntry, 0, len(p.tunnels))
@@ -566,4 +619,30 @@ func (p *Proxy) terminate() {
 		s.close()
 	}
 	p.wg.Wait()
+	drainSpan.End()
+}
+
+// Tracer returns the configured tracer (nil when tracing is off).
+func (p *Proxy) Tracer() *obs.Tracer { return p.cfg.Trace }
+
+// ReleaseState reports the instance's release state machine for the
+// admin /debug/release endpoint.
+func (p *Proxy) ReleaseState() obs.ReleaseState {
+	p.mu.Lock()
+	draining := p.draining
+	armed := p.takeSrv != nil
+	p.mu.Unlock()
+	return obs.ReleaseState{
+		Service:  p.cfg.Name,
+		Draining: draining,
+		Slots: []obs.SlotState{{
+			Name:           p.cfg.Name,
+			Draining:       draining,
+			TakeoverArmed:  armed,
+			Takeovers:      p.reg.CounterValue("proxy.takeovers"),
+			TakeoverAborts: p.reg.CounterValue("proxy.takeover_aborts"),
+			Drains:         p.reg.CounterValue("proxy.drains"),
+		}},
+		InFlightSpans: p.cfg.Trace.InFlight(),
+	}
 }

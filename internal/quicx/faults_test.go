@@ -1,0 +1,59 @@
+package quicx
+
+import (
+	"testing"
+	"time"
+
+	"zdr/internal/faults"
+)
+
+// TestServerSideDropsAbsorbedByRetries exercises the seam NewServer's
+// net.PacketConn parameter exists for: the server's VIP socket is wrapped
+// with a deterministic drop schedule, so datagrams vanish on the server
+// side (both inbound requests and outbound replies). Bounded client
+// retransmission must absorb every loss — and the schedule must
+// demonstrably fire, otherwise the test proves nothing.
+func TestServerSideDropsAbsorbedByRetries(t *testing.T) {
+	vip := newVIP(t)
+	drops := faults.NewInjector(faults.Scenario{Seed: 606, DropRate: 0.3, MaxOps: 512})
+	srv := NewServer("s-drop", drops.PacketConn(vip), echoHandler, nil)
+	srv.Start()
+	defer srv.Close()
+
+	c, err := Dial(vip.LocalAddr().String(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const retryBudget = 15
+	retry := func(what string, fn func() ([]byte, error)) []byte {
+		t.Helper()
+		var lastErr error
+		for attempt := 0; attempt < retryBudget; attempt++ {
+			reply, err := fn()
+			if err == nil {
+				return reply
+			}
+			lastErr = err
+		}
+		t.Fatalf("%s lost beyond the retry budget: %v", what, lastErr)
+		return nil
+	}
+
+	if reply := retry("open", func() ([]byte, error) {
+		return c.Open([]byte("hi"), 150*time.Millisecond)
+	}); string(reply) != "echo:hi" {
+		t.Fatalf("open reply = %q", reply)
+	}
+	for i := 0; i < 10; i++ {
+		if reply := retry("send", func() ([]byte, error) {
+			return c.Send([]byte("d"), 150*time.Millisecond)
+		}); string(reply) != "echo:d" {
+			t.Fatalf("send %d reply = %q", i, reply)
+		}
+	}
+	if drops.Injected(faults.OpDropPacket) == 0 {
+		t.Fatal("no server-side datagrams dropped — the schedule never fired")
+	}
+}

@@ -86,7 +86,7 @@ func Unmarshal(b []byte) (Packet, error) {
 }
 
 // wrapForwarded encapsulates raw with the original client address.
-func wrapForwarded(raw []byte, from *net.UDPAddr) []byte {
+func wrapForwarded(raw []byte, from net.Addr) []byte {
 	addr := from.String()
 	buf := make([]byte, 1+2+len(addr)+len(raw))
 	buf[0] = byte(pktForwarded)
@@ -125,7 +125,7 @@ type Server struct {
 	handler Handler
 
 	mu    sync.Mutex
-	flows map[ConnID]*net.UDPAddr // flow state: conn -> last client addr
+	flows map[ConnID]net.Addr // flow state: conn -> last client addr
 	// forwardTo, when set, is where packets for unknown flows are
 	// tunneled (the draining instance's local address). Nil means no
 	// forwarding: unknown-flow data packets count as misrouted.
@@ -140,14 +140,18 @@ type Server struct {
 	closed    bool
 
 	// sockets
-	main *net.UDPConn // the VIP socket (shared across takeover)
-	fwd  *net.UDPConn // host-local forward receive socket (drain side)
+	main net.PacketConn // the VIP socket (shared across takeover)
+	fwd  *net.UDPConn   // host-local forward receive socket (drain side)
 
 	wg sync.WaitGroup
 }
 
-// NewServer creates a server for the given VIP socket. reg may be nil.
-func NewServer(name string, vip *net.UDPConn, handler Handler, reg *metrics.Registry) *Server {
+// NewServer creates a server for the given VIP socket. Accepting the
+// net.PacketConn interface (rather than *net.UDPConn) lets callers
+// interpose fault-injection or instrumentation wrappers on the server-
+// side UDP path; the shared VIP *net.UDPConn handle used for the FD
+// hand-off stays with the caller. reg may be nil.
+func NewServer(name string, vip net.PacketConn, handler Handler, reg *metrics.Registry) *Server {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
@@ -155,7 +159,7 @@ func NewServer(name string, vip *net.UDPConn, handler Handler, reg *metrics.Regi
 		name:      name,
 		reg:       reg,
 		handler:   handler,
-		flows:     make(map[ConnID]*net.UDPAddr),
+		flows:     make(map[ConnID]net.Addr),
 		acceptNew: true,
 		main:      vip,
 	}
@@ -267,10 +271,10 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-func (s *Server) readLoop(conn *net.UDPConn, forwarded bool) {
+func (s *Server) readLoop(conn net.PacketConn, forwarded bool) {
 	buf := make([]byte, maxDatagram)
 	for {
-		n, from, err := conn.ReadFromUDP(buf)
+		n, from, err := conn.ReadFrom(buf)
 		if err != nil {
 			if !forwarded {
 				s.mu.Lock()
@@ -301,7 +305,7 @@ func (s *Server) readLoop(conn *net.UDPConn, forwarded bool) {
 	}
 }
 
-func (s *Server) handlePacket(raw []byte, from *net.UDPAddr) {
+func (s *Server) handlePacket(raw []byte, from net.Addr) {
 	p, err := Unmarshal(raw)
 	if err != nil {
 		s.reg.Counter("quicx.malformed").Inc()
@@ -337,7 +341,7 @@ func (s *Server) handlePacket(raw []byte, from *net.UDPAddr) {
 			if fwdTo != nil {
 				// User-space routing (§4.1): tunnel to the draining
 				// instance, preserving the client address.
-				if _, err := s.main.WriteToUDP(wrapForwarded(raw, from), fwdTo); err == nil {
+				if _, err := s.main.WriteTo(wrapForwarded(raw, from), fwdTo); err == nil {
 					s.reg.Counter("quicx.forwarded").Inc()
 					return
 				}
@@ -367,11 +371,11 @@ func (s *Server) handlePacket(raw []byte, from *net.UDPAddr) {
 	}
 }
 
-func (s *Server) reply(conn ConnID, to *net.UDPAddr, payload []byte) {
+func (s *Server) reply(conn ConnID, to net.Addr, payload []byte) {
 	if payload == nil {
 		return
 	}
-	if _, err := s.main.WriteToUDP(Marshal(Packet{Type: PktData, Conn: conn, Payload: payload}), to); err == nil {
+	if _, err := s.main.WriteTo(Marshal(Packet{Type: PktData, Conn: conn, Payload: payload}), to); err == nil {
 		s.reg.Counter("quicx.tx").Inc()
 	}
 }

@@ -51,6 +51,7 @@ import (
 
 	"zdr/internal/faults"
 	"zdr/internal/netx"
+	"zdr/internal/obs"
 )
 
 // Network names for VIP entries.
@@ -65,9 +66,10 @@ const (
 	version     = 1
 	maxManifest = 1 << 20
 
-	msgManifest = 1
-	msgAck      = 2
-	msgFDChunk  = 3
+	msgManifest     = 1
+	msgAck          = 2
+	msgFDChunk      = 3
+	msgDrainStarted = 4 // sender → receiver: accepting stopped, drain begun (step E)
 
 	// fdsPerFrame bounds descriptors per sendmsg; Linux caps SCM_RIGHTS
 	// at 253 per message, and netx enforces its own lower bound. Larger
@@ -77,6 +79,19 @@ const (
 
 // DefaultHandshakeTimeout bounds each protocol step.
 const DefaultHandshakeTimeout = 5 * time.Second
+
+// Manifest metadata keys used by the protocol itself (everything else in
+// Meta passes through opaquely).
+const (
+	// TraceMetaKey carries the sender's span context in the manifest
+	// metadata, so the receiver's spans can join the sender's trace.
+	TraceMetaKey = obs.TraceHeader
+	// metaDrainNotify announces that the sender will send a
+	// msgDrainStarted frame once it has stopped accepting (step E). The
+	// receiver only waits for the confirmation when the key is present,
+	// which keeps bare Handoff/Receive pairs compatible.
+	metaDrainNotify = "zdr-drain-notify"
+)
 
 // VIP describes one service address (Virtual IP) the proxy serves.
 type VIP struct {
@@ -286,6 +301,9 @@ type ack struct {
 	OK      bool   `json:"ok"`
 	Adopted int    `json:"adopted"`
 	Err     string `json:"err,omitempty"`
+	// Trace is the receiver's span context, so the sender's drain joins
+	// the receiver-rooted hand-off trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Result summarises a completed hand-off, from the sender's perspective
@@ -300,6 +318,15 @@ type Result struct {
 	OrphanedFDs int
 	// Duration is the wall time of the protocol exchange.
 	Duration time.Duration
+	// PeerTrace is the peer's span context in wire form, or "" if the
+	// peer was untraced: on the sender side, the receiver's hand-off span
+	// (from the ack); on the receiver side, whatever the sender put under
+	// TraceMetaKey in the manifest metadata.
+	PeerTrace string
+	// DrainConfirmed reports that the sender confirmed it stopped
+	// accepting and began draining (receiver side; requires a sender that
+	// announces metaDrainNotify, i.e. Server.ListenAndServe).
+	DrainConfirmed bool
 }
 
 var (
@@ -430,13 +457,28 @@ func HandoffMeta(conn *net.UnixConn, set *ListenerSet, meta map[string]string, t
 	if !a.OK {
 		return nil, fmt.Errorf("%w: %s", ErrRejected, a.Err)
 	}
-	return &Result{VIPs: m.VIPs, Duration: time.Since(start)}, nil
+	return &Result{VIPs: m.VIPs, Duration: time.Since(start), PeerTrace: a.Trace}, nil
 }
 
 // Receive runs the receiver side (new instance): it reads the manifest and
 // FDs, reconstructs a ListenerSet, closes any FD it cannot adopt (orphan
 // prevention, §5.1), and confirms to the old instance.
 func Receive(conn *net.UnixConn, timeout time.Duration) (*ListenerSet, *Result, error) {
+	return ReceiveTraced(conn, timeout, nil)
+}
+
+// ReceiveTraced is Receive with Fig. 5 step spans recorded as children of
+// parent (nil parent disables tracing):
+//
+//	takeover.step.B  manifest + FD frames read
+//	takeover.step.C  listeners reconstructed from the FDs
+//	takeover.step.D  confirmation sent
+//	takeover.step.E  sender's drain-start confirmation awaited
+//
+// Step E is only awaited when the sender announced it (metaDrainNotify in
+// the manifest); its failure is recorded on the span but does not fail
+// the hand-off — the sockets are already adopted.
+func ReceiveTraced(conn *net.UnixConn, timeout time.Duration, parent *obs.Span) (*ListenerSet, *Result, error) {
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
 	}
@@ -446,28 +488,41 @@ func Receive(conn *net.UnixConn, timeout time.Duration) (*ListenerSet, *Result, 
 	}
 	defer conn.SetDeadline(time.Time{})
 
+	spB := parent.StartChild("takeover.step.B")
+	failB := func(err error) {
+		spB.Fail(err)
+		spB.End()
+	}
 	kind, payload, fds, err := readFrame(conn)
 	if err != nil {
+		failB(err)
 		return nil, nil, err
 	}
 	if kind != msgManifest {
 		closeFDs(fds)
-		return nil, nil, fmt.Errorf("takeover: expected manifest, got frame kind %d", kind)
+		err = fmt.Errorf("takeover: expected manifest, got frame kind %d", kind)
+		failB(err)
+		return nil, nil, err
 	}
 	var m manifest
 	if err := json.Unmarshal(payload, &m); err != nil {
 		closeFDs(fds)
-		return nil, nil, fmt.Errorf("takeover: bad manifest: %w", err)
+		err = fmt.Errorf("takeover: bad manifest: %w", err)
+		failB(err)
+		return nil, nil, err
 	}
 	if m.Magic != magic {
 		closeFDs(fds)
 		sendAck(conn, ack{OK: false, Err: "bad magic"})
+		failB(ErrBadMagic)
 		return nil, nil, ErrBadMagic
 	}
 	if m.Version != version {
 		closeFDs(fds)
 		sendAck(conn, ack{OK: false, Err: fmt.Sprintf("unsupported version %d", m.Version)})
-		return nil, nil, fmt.Errorf("takeover: unsupported protocol version %d", m.Version)
+		err = fmt.Errorf("takeover: unsupported protocol version %d", m.Version)
+		failB(err)
+		return nil, nil, err
 	}
 	// Collect continuation frames until every declared VIP has its FD. A
 	// sender that declared more VIPs than it attached FDs for never sends
@@ -478,20 +533,28 @@ func Receive(conn *net.UnixConn, timeout time.Duration) (*ListenerSet, *Result, 
 		if err != nil {
 			sendAck(conn, ack{OK: false, Err: "fd continuation: " + err.Error()})
 			closeFDs(fds)
-			return nil, nil, fmt.Errorf("takeover: reading fd continuation: %w", err)
+			err = fmt.Errorf("takeover: reading fd continuation: %w", err)
+			failB(err)
+			return nil, nil, err
 		}
 		if kind != msgFDChunk {
 			closeFDs(fds)
 			closeFDs(more)
 			sendAck(conn, ack{OK: false, Err: "unexpected frame during fd transfer"})
-			return nil, nil, fmt.Errorf("takeover: expected fd chunk, got frame kind %d", kind)
+			err = fmt.Errorf("takeover: expected fd chunk, got frame kind %d", kind)
+			failB(err)
+			return nil, nil, err
 		}
 		if len(more) == 0 {
 			break
 		}
 		fds = append(fds, more...)
 	}
+	spB.SetAttr("vips", fmt.Sprintf("%d", len(m.VIPs)))
+	spB.SetAttr("fds", fmt.Sprintf("%d", len(fds)))
+	spB.End()
 
+	spC := parent.StartChild("takeover.step.C")
 	set := NewListenerSet()
 	orphans := 0
 	var firstErr error
@@ -543,13 +606,43 @@ func Receive(conn *net.UnixConn, timeout time.Duration) (*ListenerSet, *Result, 
 	if firstErr != nil {
 		set.Close()
 		sendAck(conn, ack{OK: false, Err: firstErr.Error()})
+		spC.Fail(firstErr)
+		spC.End()
 		return nil, nil, firstErr
 	}
-	if err := sendAck(conn, ack{OK: true, Adopted: set.Len()}); err != nil {
+	spC.SetAttr("adopted", fmt.Sprintf("%d", set.Len()))
+	spC.End()
+
+	spD := parent.StartChild("takeover.step.D")
+	if err := sendAck(conn, ack{OK: true, Adopted: set.Len(), Trace: parent.Context().String()}); err != nil {
 		set.Close()
+		spD.Fail(err)
+		spD.End()
 		return nil, nil, err
 	}
-	return set, &Result{VIPs: m.VIPs, Meta: m.Meta, OrphanedFDs: orphans, Duration: time.Since(start)}, nil
+	spD.End()
+
+	res := &Result{VIPs: m.VIPs, Meta: m.Meta, OrphanedFDs: orphans, PeerTrace: m.Meta[TraceMetaKey]}
+	if m.Meta[metaDrainNotify] == "1" {
+		// Step E: the old instance stops accepting and begins draining; it
+		// confirms with a msgDrainStarted frame. Best-effort — the sockets
+		// are already ours, so a timeout here degrades to an errored span
+		// and DrainConfirmed=false, not a failed hand-off.
+		spE := parent.StartChild("takeover.step.E")
+		kind, _, stray, err := readFrame(conn)
+		closeFDs(stray)
+		switch {
+		case err != nil:
+			spE.Fail(fmt.Errorf("takeover: waiting for drain-start confirmation: %w", err))
+		case kind != msgDrainStarted:
+			spE.Fail(fmt.Errorf("takeover: expected drain-start confirmation, got frame kind %d", kind))
+		default:
+			res.DrainConfirmed = true
+		}
+		spE.End()
+	}
+	res.Duration = time.Since(start)
+	return set, res, nil
 }
 
 func sendAck(conn *net.UnixConn, a ack) error {
@@ -609,9 +702,14 @@ func (s *Server) ListenAndServe(path string) error {
 			}
 			return err
 		}
-		res, err := HandoffMeta(conn, s.Set, s.Meta, s.HandshakeTimeout)
-		conn.Close()
+		meta := make(map[string]string, len(s.Meta)+1)
+		for k, v := range s.Meta {
+			meta[k] = v
+		}
+		meta[metaDrainNotify] = "1"
+		res, err := HandoffMeta(conn, s.Set, meta, s.HandshakeTimeout)
 		if err != nil {
+			conn.Close()
 			// A failed hand-off leaves this instance fully in charge;
 			// keep serving so a retried deploy can connect again.
 			if s.OnHandoffError != nil {
@@ -622,6 +720,12 @@ func (s *Server) ListenAndServe(path string) error {
 		if s.OnDrainStart != nil {
 			s.OnDrainStart(*res)
 		}
+		// Step E confirmation: accepting has stopped and draining has
+		// begun. Best-effort — a receiver that doesn't wait (bare
+		// Receive) has already hung up.
+		conn.SetDeadline(time.Now().Add(time.Second))
+		writeFrame(conn, msgDrainStarted, nil, nil)
+		conn.Close()
 		return nil
 	}
 }
@@ -659,6 +763,13 @@ func Connect(path string, timeout time.Duration) (*ListenerSet, *Result, error) 
 
 // ConnectBackoff is Connect with an explicit dial-retry policy.
 func ConnectBackoff(path string, timeout time.Duration, bo faults.Backoff) (*ListenerSet, *Result, error) {
+	return ConnectTraced(path, timeout, bo, nil)
+}
+
+// ConnectTraced is ConnectBackoff with Fig. 5 step spans recorded as
+// children of parent: takeover.step.A covers the dial (one span per
+// attempt when dials are retried), and ReceiveTraced records steps B–E.
+func ConnectTraced(path string, timeout time.Duration, bo faults.Backoff, parent *obs.Span) (*ListenerSet, *Result, error) {
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
 	}
@@ -669,14 +780,20 @@ func ConnectBackoff(path string, timeout time.Duration, bo faults.Backoff) (*Lis
 		res *Result
 	)
 	err := bo.Retry(ctx, func() error {
+		spA := parent.StartChild("takeover.step.A")
+		spA.SetAttr("path", path)
 		d := net.Dialer{Timeout: timeout}
 		c, err := d.DialContext(ctx, "unix", path)
 		if err != nil {
-			return fmt.Errorf("takeover: connect %s: %w", path, err)
+			err = fmt.Errorf("takeover: connect %s: %w", path, err)
+			spA.Fail(err)
+			spA.End()
+			return err
 		}
+		spA.End()
 		conn := c.(*net.UnixConn)
 		defer conn.Close()
-		s, r, err := Receive(conn, timeout)
+		s, r, err := ReceiveTraced(conn, timeout, parent)
 		if err != nil {
 			return faults.Permanent(err)
 		}
