@@ -105,9 +105,13 @@ func main() {
 	if *takeoverFrom != "" {
 		res, err := p.TakeoverFrom(*takeoverFrom)
 		if err != nil {
+			// A pre-commit abort (takeover.ErrAborted) means the old
+			// instance kept serving and a redeploy can simply run again;
+			// either way this process has nothing to serve.
 			fatal("takeover from %s: %v", *takeoverFrom, err)
 		}
-		fmt.Printf("%s: took over %d sockets in %v (old instance draining)\n", cfg.Name, len(res.VIPs), res.Duration)
+		fmt.Printf("%s: took over %d sockets in %v via protocol v%d (old instance draining)\n",
+			cfg.Name, len(res.VIPs), res.Duration, res.Proto)
 	} else {
 		if err := p.Listen(); err != nil {
 			fatal("listen: %v", err)

@@ -32,6 +32,7 @@ import (
 	"zdr/internal/metrics"
 	"zdr/internal/obs"
 	"zdr/internal/proxy"
+	"zdr/internal/takeover"
 )
 
 // ErrTakeoverNotArmed reports a partially successful restart: the new
@@ -82,6 +83,14 @@ type ProxySlot struct {
 	// its socket down asynchronously). The zero value uses the faults
 	// package defaults (20ms base, doubling, 500ms cap, 10 attempts).
 	RearmBackoff faults.Backoff
+	// AbortRetries is how many times Restart rebuilds a fresh generation
+	// and retries after a pre-commit abort (takeover.ErrAborted). Aborts
+	// are the benign arm of the failure lattice: the old generation never
+	// stopped accepting, so a retry risks nothing. Zero means the default
+	// of 1 retry; negative disables retries. Post-commit failures are
+	// never retried here — they surface to the caller, whose remediation
+	// is RestartFresh (§5.1 rebind).
+	AbortRetries int
 
 	mu      sync.Mutex
 	cur     *proxy.Proxy
@@ -151,10 +160,36 @@ func (s *ProxySlot) restart(sp *obs.Span) error {
 	if old == nil {
 		return errors.New("core: slot not started")
 	}
-	next := s.Build()
-	if _, err := next.TakeoverFromTraced(s.Path, sp); err != nil {
+	retries := s.AbortRetries
+	switch {
+	case retries == 0:
+		retries = 1
+	case retries < 0:
+		retries = 0
+	}
+	var next *proxy.Proxy
+	for attempt := 0; ; attempt++ {
+		next = s.Build()
+		_, err := next.TakeoverFromTraced(s.Path, sp)
+		if err == nil {
+			break
+		}
+		// The failed generation is discarded either way; a retried
+		// attempt needs a fresh Build (Adopt refuses reuse).
 		next.Close()
-		return fmt.Errorf("core: takeover failed, old generation keeps serving: %w", err)
+		if !errors.Is(err, takeover.ErrAborted) {
+			// Protocol/config failures (bad magic, rejected manifest,
+			// dial exhaustion): the old generation keeps serving, but a
+			// blind retry would fail identically.
+			return fmt.Errorf("core: takeover failed, old generation keeps serving: %w", err)
+		}
+		if attempt >= retries {
+			return fmt.Errorf("core: takeover aborted before commit %d time(s), old generation keeps serving: %w", attempt+1, err)
+		}
+		// Pre-commit abort: the hand-off died before the old generation
+		// stopped accepting, so no client saw anything. Retry with a
+		// fresh receiver.
+		sp.SetAttr("abort_retries", strconv.Itoa(attempt+1))
 	}
 	// The hand-off flipped the old generation into draining via its
 	// takeover server callback. Retire it in the background and promote

@@ -17,7 +17,9 @@ import (
 // the six Fig. 5 takeover steps, then the drain tails.
 var releasePhaseOrder = []string{
 	"release", "release.batch", "slot.restart", "takeover.handoff",
+	"takeover.serve",
 	"takeover.step.A", "takeover.step.B", "takeover.step.C",
+	"takeover.prepare", "takeover.commit",
 	"takeover.step.D", "takeover.step.E", "takeover.step.F",
 	"slot.drain", "proxy.drain",
 }
@@ -118,8 +120,9 @@ func releasePhases(reportPath string, hook func(*obs.Span)) (Table, *core.Releas
 		ID:      "T-D",
 		Title:   "Release-phase durations from the machine-readable ReleaseReport",
 		Columns: []string{"phase", "count", "total (ms)", "mean (ms)"},
-		Notes: "per-phase time from the traced release span tree; the six takeover.step.* rows " +
-			"are Fig. 5's steps A-F, each appearing once per hand-off",
+		Notes: "per-phase time from the traced release span tree; takeover.step.* rows are " +
+			"Fig. 5's steps, takeover.prepare/takeover.commit the two-phase confirmation " +
+			"(recorded on both sides of the hand-off socket)",
 	}
 	for _, n := range names {
 		total := rr.Phase(n)

@@ -1,0 +1,181 @@
+// Two-phase abort chaos: the acceptance scenario for the prepare/commit
+// takeover protocol. The receiver is killed at the worst instant — armed
+// and serving, PREPARE-ACK on the wire, COMMIT not yet delivered — under
+// live HTTP load, and the release must be a non-event: the sender never
+// stops accepting, no client sees a reset, the process FD count returns
+// to baseline, and the trace shows an aborted takeover.prepare with no
+// takeover.commit.
+package faults_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zdr/internal/netx"
+	"zdr/internal/obs"
+	"zdr/internal/proxy"
+	"zdr/internal/takeover"
+)
+
+// framePrepareAck mirrors the takeover wire protocol's PREPARE-ACK frame
+// kind. The netx FD hook sees raw outgoing frames, so the injection keys
+// on the first byte; if the wire constant ever drifts this test fails on
+// its "injection fired" assertion rather than silently passing.
+const framePrepareAck = 5
+
+// settleFDCount polls /proc/self/fd until the count reaches want (socket
+// closes are asynchronous to Close).
+func settleFDCount(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := netx.OpenFDCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == want || time.Now().After(deadline) {
+			return got
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestChaosAbortBeforeCommitZeroDisruption(t *testing.T) {
+	tracer := obs.NewTracer("abort-chaos")
+	tp := buildChaosTopo(t, nil,
+		func(cfg *proxy.Config) { cfg.Trace = tracer },
+	)
+	addr := tp.edge.Current().Addr(proxy.VIPWeb)
+
+	// Warm the edge→origin tunnel so the FD baseline includes the
+	// steady-state connection set.
+	for i := 0; i < 3; i++ {
+		if err := doHTTP(addr, "GET", "/warm", nil); err != nil {
+			t.Fatalf("warm-up request %d: %v", i, err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	baseline, err := netx.OpenFDCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var ok, failed atomic.Int64
+	var lastErr atomic.Value
+	done := httpLoad(addr, stop, &ok, &failed, &lastErr)
+
+	// Kill the receiver at the acceptance instant: it has adopted the
+	// sockets, armed its accept loops, and is writing PREPARE-ACK — which
+	// never makes it onto the wire.
+	var injected atomic.Int64
+	netx.SetFDHook(func(op string, data []byte, fds []int) error {
+		if op == "write" && len(data) > 0 && data[0] == framePrepareAck {
+			injected.Add(1)
+			return errors.New("injected receiver death at prepare-ack")
+		}
+		return nil
+	})
+	defer netx.SetFDHook(nil)
+
+	oldGen := tp.edge.Current()
+	tp.edge.AbortRetries = -1 // observe the single abort, no auto-retry
+	err = tp.edge.Restart()
+	if err == nil {
+		t.Fatal("restart succeeded with a receiver that dies at prepare-ack")
+	}
+	if !errors.Is(err, takeover.ErrAborted) {
+		t.Fatalf("restart error not classified as pre-commit abort: %v", err)
+	}
+	if injected.Load() == 0 {
+		t.Fatal("prepare-ack injection never fired — wire constant drift?")
+	}
+
+	// The sender never stopped accepting: same generation, not draining,
+	// abort counted, nothing committed.
+	if cur := tp.edge.Current(); cur != oldGen {
+		t.Fatal("aborted restart replaced the serving generation")
+	}
+	if oldGen.Draining() {
+		t.Fatal("aborted hand-off put the old generation into drain")
+	}
+	// The sender observes the receiver's death asynchronously (EOF on the
+	// takeover socket after the receiver hangs up); give it a moment.
+	abortSeen := time.Now().Add(3 * time.Second)
+	for oldGen.Metrics().CounterValue("proxy.takeover_aborts") == 0 && time.Now().Before(abortSeen) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := oldGen.Metrics().CounterValue("proxy.takeover_aborts"); got != 1 {
+		t.Errorf("proxy.takeover_aborts = %d, want 1", got)
+	}
+	if got := oldGen.Metrics().CounterValue("proxy.takeover_commits"); got != 0 {
+		t.Errorf("proxy.takeover_commits = %d after an abort, want 0", got)
+	}
+
+	// Zero client-visible disruption across the abort.
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	<-done
+	if f := failed.Load(); f != 0 {
+		t.Fatalf("%d of %d requests failed across the aborted takeover; last: %v",
+			f, f+ok.Load(), lastErr.Load())
+	}
+	if ok.Load() < 20 {
+		t.Fatalf("only %d requests completed — load loop starved", ok.Load())
+	}
+
+	// Every FD the aborted hand-off created — sender dups, SCM_RIGHTS
+	// copies, the receiver's reconstructed listeners — is closed.
+	if got := settleFDCount(t, baseline); got != baseline {
+		t.Fatalf("fd count after abort = %d, want baseline %d", got, baseline)
+	}
+
+	// A redeploy now simply runs again: same path, fresh receiver, no
+	// faults — and completes.
+	netx.SetFDHook(nil)
+	if err := tp.edge.Restart(); err != nil {
+		t.Fatalf("retried restart after abort: %v", err)
+	}
+	if tp.edge.Current() == oldGen {
+		t.Fatal("retried restart did not promote a new generation")
+	}
+	for i := 0; i < 3; i++ {
+		if err := doHTTP(addr, "GET", "/post-retry", nil); err != nil {
+			t.Fatalf("request %d on the promoted generation: %v", i, err)
+		}
+	}
+
+	// Trace audit: the aborted attempt shows takeover.prepare failing —
+	// on both the receiver's hand-off trace and the sender's
+	// takeover.serve trace — and records NO takeover.commit span in
+	// either trace. The successful retry records commits in its own.
+	abortedTraces := map[string]bool{}
+	commits := map[string]int{}
+	for _, r := range tracer.Finished() {
+		switch r.Name {
+		case "takeover.prepare":
+			if r.Error != "" {
+				abortedTraces[r.TraceID] = true
+			}
+		case "takeover.commit":
+			commits[r.TraceID]++
+		}
+	}
+	if len(abortedTraces) < 2 {
+		t.Errorf("aborted takeover.prepare spans found in %d traces, want receiver + sender views", len(abortedTraces))
+	}
+	for tid := range abortedTraces {
+		if n := commits[tid]; n != 0 {
+			t.Errorf("aborted trace %s records %d takeover.commit span(s), want none", tid, n)
+		}
+	}
+	total := 0
+	for _, n := range commits {
+		total += n
+	}
+	if total < 2 {
+		t.Errorf("successful retry recorded %d takeover.commit spans, want receiver + sender views", total)
+	}
+}

@@ -1,6 +1,6 @@
 // Traced-release chaos tests: the release path runs under the obs tracer
 // while a deterministic stall is injected into exactly one Fig. 5 step,
-// and the resulting span tree is audited — all six takeover steps A–F
+// and the resulting span tree is audited — every two-phase takeover phase
 // present exactly once per hand-off, in order, with positive durations,
 // and the stall attributed to the stalled step alone.
 package faults_test
@@ -17,9 +17,15 @@ import (
 	"zdr/internal/proxy"
 )
 
+// takeoverSteps is the receiver-side phase sequence of one two-phase
+// hand-off: steps A–C transfer the sockets, takeover.prepare arms the new
+// instance and sends PREPARE-ACK, takeover.commit awaits the sender's
+// COMMIT, and steps E–F cover drain confirmation and health-check
+// transfer. takeover.step.D only occurs against one-shot (v1) peers.
 var takeoverSteps = []string{
 	"takeover.step.A", "takeover.step.B", "takeover.step.C",
-	"takeover.step.D", "takeover.step.E", "takeover.step.F",
+	"takeover.prepare", "takeover.commit",
+	"takeover.step.E", "takeover.step.F",
 }
 
 func TestChaosTracedRollingRestartSpanTree(t *testing.T) {
@@ -50,10 +56,39 @@ func TestChaosTracedRollingRestartSpanTree(t *testing.T) {
 		t.Fatal("no release report")
 	}
 
-	// One trace: a single release root containing everything.
-	if len(rr.Spans) != 1 || rr.Spans[0].Name != "release" {
-		t.Fatalf("span forest roots = %d (%+v), want the single release span",
-			len(rr.Spans), rr.Spans)
+	// The forest has one release root (the receiver-side view, since the
+	// receivers' spans join the release trace) plus one sender-rooted
+	// takeover.serve trace per hand-off: the sender cannot join a trace
+	// that only begins, on the receiver, after the sender's span started.
+	var release *obs.SpanNode
+	var serves []*obs.SpanNode
+	for _, r := range rr.Spans {
+		switch r.Name {
+		case "release":
+			release = r
+		case "takeover.serve":
+			serves = append(serves, r)
+		default:
+			t.Errorf("unexpected root span %q", r.Name)
+		}
+	}
+	if release == nil {
+		t.Fatalf("no release root among %d roots", len(rr.Spans))
+	}
+	if len(serves) != 2 {
+		t.Fatalf("takeover.serve roots = %d, want 2 (origin + edge senders)", len(serves))
+	}
+	for _, s := range serves {
+		names := map[string]int{}
+		for _, c := range s.Children {
+			names[c.Name]++
+			if got := c.Attrs["side"]; got != "sender" {
+				t.Errorf("takeover.serve child %s has side=%q, want sender", c.Name, got)
+			}
+		}
+		if names["takeover.prepare"] != 1 || names["takeover.commit"] != 1 {
+			t.Errorf("takeover.serve children = %v, want one takeover.prepare and one takeover.commit", names)
+		}
 	}
 
 	var handoffs []*obs.SpanNode
@@ -93,6 +128,11 @@ func TestChaosTracedRollingRestartSpanTree(t *testing.T) {
 				t.Errorf("%s: step %s appeared %d times, want exactly 1", inst, s, count[s])
 			}
 		}
+		// v2↔v2 hand-offs run the two-phase confirmation; the one-shot
+		// step D must not appear.
+		if count["takeover.step.D"] != 0 {
+			t.Errorf("%s: one-shot step D appeared %d times on a two-phase hand-off", inst, count["takeover.step.D"])
+		}
 		// The old generation's drain joins the hand-off trace as a child
 		// (its context crossed the takeover socket in the ack frame).
 		if count["proxy.drain"] != 1 {
@@ -116,11 +156,20 @@ func TestChaosTracedRollingRestartSpanTree(t *testing.T) {
 		}
 	}
 
-	// Phase accounting reflects the two hand-offs.
+	// Phase accounting reflects the two hand-offs. takeover.prepare and
+	// takeover.commit are recorded on BOTH sides of the socket (receiver
+	// and sender views), so they count 4 across the release.
 	for _, s := range takeoverSteps {
-		if got := rr.PhaseCount[s]; got != 2 {
-			t.Errorf("PhaseCount[%s] = %d, want 2", s, got)
+		want := int64(2)
+		if s == "takeover.prepare" || s == "takeover.commit" {
+			want = 4
 		}
+		if got := rr.PhaseCount[s]; got != want {
+			t.Errorf("PhaseCount[%s] = %d, want %d", s, got, want)
+		}
+	}
+	if got := rr.PhaseCount["takeover.step.D"]; got != 0 {
+		t.Errorf("PhaseCount[takeover.step.D] = %d, want 0 on an all-v2 release", got)
 	}
 	if rr.Phase(stalledStep) < 2*stall {
 		t.Errorf("Phase(%s) = %v, want >= %v across both hand-offs", stalledStep, rr.Phase(stalledStep), 2*stall)

@@ -124,6 +124,20 @@ func ReadFDs(conn *net.UnixConn, buf []byte) (data []byte, fds []int, err error)
 	return data, fds, nil
 }
 
+// OpenFDCount returns the number of file descriptors the process holds
+// open, by counting /proc/self/fd. It is the ground truth the FD-
+// accounting tests compare before/after an aborted hand-off: every dup
+// the takeover path makes — sender-side extraction, SCM_RIGHTS delivery,
+// receiver-side reconstruction — must be matched by a close on both the
+// commit and the abort edges, or the leak shows up here.
+func OpenFDCount() (int, error) {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0, fmt.Errorf("netx: reading /proc/self/fd: %w", err)
+	}
+	return len(ents), nil
+}
+
 // SocketPair returns both ends of a connected AF_UNIX SOCK_STREAM pair as
 // *net.UnixConn. It is how tests (and the in-process takeover used by the
 // examples) wire an old and a new "instance" together without touching the

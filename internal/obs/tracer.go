@@ -199,20 +199,67 @@ func (s *Span) recordLocked() SpanRecord {
 	return rec
 }
 
+// DefaultFinishedCap is the default bound on retained finished spans.
+// It is far above what a traced release produces (a few dozen spans per
+// hand-off) while keeping a long-lived daemon tracing per-request spans
+// (appserver.request) at a fixed memory ceiling instead of growing until
+// Finished() happens to be drained.
+const DefaultFinishedCap = 16384
+
 // Tracer records spans for one service instance. The zero of *Tracer
-// (nil) is a valid no-op tracer.
+// (nil) is a valid no-op tracer. Finished spans are retained in a
+// bounded ring (SetFinishedCap): when it fills, the oldest records are
+// dropped and counted in Dropped.
 type Tracer struct {
 	service string
 
 	mu       sync.Mutex
 	open     map[uint64]*Span
-	finished []SpanRecord
+	finished []SpanRecord // ring once len reaches cap; head marks the oldest
+	head     int
+	cap      int
+	dropped  uint64
 	onStart  func(*Span)
 }
 
-// NewTracer returns a tracer whose spans carry the given service name.
+// NewTracer returns a tracer whose spans carry the given service name,
+// retaining up to DefaultFinishedCap finished spans.
 func NewTracer(service string) *Tracer {
-	return &Tracer{service: service, open: map[uint64]*Span{}}
+	return &Tracer{service: service, open: map[uint64]*Span{}, cap: DefaultFinishedCap}
+}
+
+// SetFinishedCap bounds the finished-span ring to n records (n <= 0
+// restores DefaultFinishedCap). If more than n spans are currently
+// retained, the oldest are dropped immediately and counted in Dropped.
+func (t *Tracer) SetFinishedCap(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultFinishedCap
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if over := len(t.finished) - n; over > 0 {
+		lin := t.finishedLocked()
+		t.finished = lin[over:]
+		t.dropped += uint64(over)
+	} else if t.head != 0 {
+		t.finished = t.finishedLocked()
+	}
+	t.head = 0
+	t.cap = n
+}
+
+// Dropped reports how many finished spans have been evicted from the
+// ring since the last Reset.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // SetSpanStartHook installs fn to run synchronously inside every
@@ -262,19 +309,40 @@ func (t *Tracer) startSpan(name string, traceID, parentID uint64) *Span {
 func (t *Tracer) finish(id uint64, rec SpanRecord) {
 	t.mu.Lock()
 	delete(t.open, id)
-	t.finished = append(t.finished, rec)
+	// cap <= 0 (a Tracer literal that bypassed NewTracer) means unbounded,
+	// preserving the zero value's historical behaviour.
+	if t.cap <= 0 || len(t.finished) < t.cap {
+		t.finished = append(t.finished, rec)
+	} else {
+		// Ring full: drop-oldest. Memory stays flat no matter how long
+		// the daemon traces for.
+		t.finished[t.head] = rec
+		t.head++
+		if t.head == len(t.finished) {
+			t.head = 0
+		}
+		t.dropped++
+	}
 	t.mu.Unlock()
 }
 
-// Finished returns the finished spans in End order.
+// Finished returns the retained finished spans in End order (oldest
+// first). When more spans ended than the ring holds, only the newest
+// SetFinishedCap records are returned; see Dropped.
 func (t *Tracer) Finished() []SpanRecord {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]SpanRecord, len(t.finished))
-	copy(out, t.finished)
+	return t.finishedLocked()
+}
+
+// finishedLocked linearises the ring (oldest first). Callers hold t.mu.
+func (t *Tracer) finishedLocked() []SpanRecord {
+	out := make([]SpanRecord, 0, len(t.finished))
+	out = append(out, t.finished[t.head:]...)
+	out = append(out, t.finished[:t.head]...)
 	return out
 }
 
@@ -305,13 +373,16 @@ func (t *Tracer) InFlight() []SpanRecord {
 	return out
 }
 
-// Reset discards all finished spans (open spans keep running).
+// Reset discards all finished spans and zeroes the dropped counter
+// (open spans keep running).
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.finished = nil
+	t.head = 0
+	t.dropped = 0
 	t.mu.Unlock()
 }
 

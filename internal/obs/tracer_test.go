@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"reflect"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -225,6 +226,71 @@ func TestBuildTree(t *testing.T) {
 	Walk(roots, func(*SpanNode) { walked++ })
 	if walked != 4 {
 		t.Fatalf("Walk visited %d nodes, want 4", walked)
+	}
+}
+
+// TestFinishedRingBoundsMemory is the regression test for the unbounded
+// finished-span growth bug: a long-lived daemon tracing per-request
+// spans (appserver.request) must hold no more than the configured cap no
+// matter how many spans end, with evictions counted, drop-oldest order
+// preserved, and memory flat.
+func TestFinishedRingBoundsMemory(t *testing.T) {
+	const (
+		total = 100_000
+		cap   = 1024
+	)
+	tr := NewTracer("appserver")
+	tr.SetFinishedCap(cap)
+	for i := 0; i < total; i++ {
+		sp := tr.StartSpan("appserver.request", SpanContext{})
+		sp.SetAttr("seq", strconv.Itoa(i))
+		sp.End()
+	}
+	fin := tr.Finished()
+	if len(fin) != cap {
+		t.Fatalf("retained %d spans, want cap %d", len(fin), cap)
+	}
+	if got := tr.Dropped(); got != total-cap {
+		t.Fatalf("Dropped() = %d, want %d", got, total-cap)
+	}
+	// Drop-oldest: the survivors are exactly the newest cap spans, in End
+	// order.
+	for i, rec := range fin {
+		if want := strconv.Itoa(total - cap + i); rec.Attrs["seq"] != want {
+			t.Fatalf("fin[%d].seq = %s, want %s", i, rec.Attrs["seq"], want)
+		}
+	}
+
+	// Shrinking the cap evicts the oldest immediately.
+	tr.SetFinishedCap(16)
+	if got := len(tr.Finished()); got != 16 {
+		t.Fatalf("after shrink: retained %d, want 16", got)
+	}
+	if got := tr.Dropped(); got != total-16 {
+		t.Fatalf("after shrink: Dropped() = %d, want %d", got, total-16)
+	}
+	if last := tr.Finished()[15]; last.Attrs["seq"] != strconv.Itoa(total-1) {
+		t.Fatalf("newest span evicted by shrink: seq = %s", last.Attrs["seq"])
+	}
+
+	tr.Reset()
+	if tr.Dropped() != 0 || len(tr.Finished()) != 0 {
+		t.Fatal("Reset did not clear the ring and dropped counter")
+	}
+}
+
+// TestFinishedRingDefaultCap pins the default bound: NewTracer must not
+// retain more than DefaultFinishedCap spans.
+func TestFinishedRingDefaultCap(t *testing.T) {
+	tr := NewTracer("svc")
+	for i := 0; i < DefaultFinishedCap+100; i++ {
+		tr.StartSpan("s", SpanContext{}).End()
+	}
+	if got := len(tr.Finished()); got != DefaultFinishedCap {
+		t.Fatalf("retained %d spans, want %d", got, DefaultFinishedCap)
+	}
+	if got := tr.Dropped(); got != 100 {
+		t.Fatalf("Dropped() = %d, want 100", got)
 	}
 }
 

@@ -414,15 +414,20 @@ func (p *Proxy) ServeTakeover(path string) error {
 		return errors.New("proxy: not serving yet")
 	}
 	srv := &takeover.Server{
-		Set: set,
+		Set:    set,
+		Tracer: p.cfg.Trace,
 		OnDrainStart: func(res takeover.Result) {
 			// Join the receiver's hand-off trace (ack.Trace) so the old
 			// instance's drain appears under the new instance's span tree.
+			// Only a committed hand-off reaches this point: on the
+			// two-phase protocol draining begins strictly after COMMIT.
+			p.reg.Counter("proxy.takeover_commits").Inc()
 			p.startDrainingTraced(res.PeerTrace)
 		},
 		OnHandoffError: func(error) {
-			// The receiver died or misbehaved mid-handoff; this instance
-			// rolled back (never started draining) and keeps serving.
+			// The receiver died or misbehaved before the hand-off
+			// committed; this instance rolled back (never started
+			// draining) and keeps serving.
 			p.reg.Counter("proxy.takeover_aborts").Inc()
 		},
 	}
@@ -460,8 +465,9 @@ func (p *Proxy) TakeoverFrom(path string) (*takeover.Result, error) {
 // TakeoverFromTraced is TakeoverFrom recorded under a takeover.handoff
 // span: a child of parent when given, else a root span on Config.Trace,
 // else untraced. The six Fig. 5 steps appear as takeover.step.A–F
-// children (A–E from the protocol exchange, F covering adoption and the
-// transfer of health-check responsibility).
+// children (A–E from the protocol exchange — with adoption armed inside
+// the prepare window — and F marking the transfer of health-check
+// responsibility once the hand-off commits).
 func (p *Proxy) TakeoverFromTraced(path string, parent *obs.Span) (*takeover.Result, error) {
 	hand := parent.StartChild("takeover.handoff")
 	if hand == nil {
@@ -469,32 +475,47 @@ func (p *Proxy) TakeoverFromTraced(path string, parent *obs.Span) (*takeover.Res
 	}
 	hand.SetAttr("instance", p.cfg.Name)
 	hand.SetAttr("path", path)
-	set, res, err := takeover.ConnectTraced(path, 0, takeover.DefaultConnectBackoff, hand)
+	// Arming happens inside the protocol's prepare window: Adopt starts
+	// the accept loops (and the QUIC machinery) BEFORE the PREPARE-ACK is
+	// sent, so the confirmation attests to an instance that is already
+	// serving — not one that merely holds the sockets. If anything after
+	// a successful Adopt aborts the hand-off (commit never arrives, peer
+	// crash), Disarm rolls this half-promoted generation back to a clean
+	// slate; the shared sockets stay alive in the old instance, which
+	// never stopped accepting.
+	_, res, err := takeover.ConnectWith(path, 0, takeover.DefaultConnectBackoff, takeover.ReceiveOptions{
+		Parent: hand,
+		Arm: func(set *takeover.ListenerSet, res *takeover.Result) error {
+			if err := p.Adopt(set); err != nil {
+				return err
+			}
+			if fwd, ok := res.Meta["quic-forward"]; ok {
+				p.mu.Lock()
+				quic := p.quic
+				p.mu.Unlock()
+				if quic != nil {
+					if addr, err := net.ResolveUDPAddr("udp", fwd); err == nil {
+						quic.SetForward(addr)
+					}
+				}
+			}
+			return nil
+		},
+		Disarm: func(*takeover.ListenerSet) {
+			p.reg.Counter("proxy.takeover_disarms").Inc()
+			p.Close()
+		},
+	})
 	if err != nil {
 		hand.Fail(err)
 		hand.End()
 		return nil, err
 	}
+	// Step F: the hand-off is committed — the old instance is draining and
+	// health-check responsibility is now this instance's.
 	spF := hand.StartChild("takeover.step.F")
-	if err := p.Adopt(set); err != nil {
-		set.Close()
-		spF.Fail(err)
-		spF.End()
-		hand.Fail(err)
-		hand.End()
-		return nil, err
-	}
-	if fwd, ok := res.Meta["quic-forward"]; ok {
-		p.mu.Lock()
-		quic := p.quic
-		p.mu.Unlock()
-		if quic != nil {
-			if addr, err := net.ResolveUDPAddr("udp", fwd); err == nil {
-				quic.SetForward(addr)
-			}
-		}
-	}
 	spF.SetAttr("vips", fmt.Sprintf("%d", len(res.VIPs)))
+	spF.SetAttr("proto", fmt.Sprintf("%d", res.Proto))
 	spF.End()
 	p.reg.Counter("proxy.takeovers").Inc()
 	hand.End()

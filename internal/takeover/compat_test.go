@@ -1,0 +1,279 @@
+package takeover
+
+// Cross-version compatibility: the two-phase protocol (ProtoTwoPhase)
+// must interoperate with v1 peers in both directions without a flag day.
+// The legacy doubles below replicate the v1 wire behaviour exactly — a
+// manifest without the proto field, a single ACK as the only
+// confirmation — so these tests fail if the negotiation ever starts
+// depending on a field or frame a real v1 binary would not produce.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"zdr/internal/netx"
+)
+
+// legacyManifest is the v1 manifest: no proto field. A real v1 binary
+// unmarshals the v2 sender's manifest into this shape, silently ignoring
+// the unknown "proto" key — which is exactly what makes the negotiation
+// backward-compatible.
+type legacyManifest struct {
+	Magic   uint16            `json:"magic"`
+	Version uint8             `json:"version"`
+	VIPs    []VIP             `json:"vips"`
+	Meta    map[string]string `json:"meta,omitempty"`
+}
+
+// legacyReceiveV1 replicates the pre-two-phase receiver: read the
+// manifest and FDs, adopt them, send the single ACK, and return — it
+// neither sends PREPARE-ACK nor waits for COMMIT.
+func legacyReceiveV1(conn *net.UnixConn, timeout time.Duration) (*ListenerSet, error) {
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	kind, payload, fds, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if kind != msgManifest {
+		closeFDs(fds)
+		return nil, fmt.Errorf("legacy receiver: expected manifest, got frame kind %d", kind)
+	}
+	var m legacyManifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		closeFDs(fds)
+		return nil, err
+	}
+	if m.Magic != magic {
+		closeFDs(fds)
+		return nil, errors.New("legacy receiver: bad magic")
+	}
+	if m.Version != version {
+		// The v1 hard-reject that in-band proto negotiation avoids: a
+		// version bump here would abort every mixed-version deploy.
+		sendAck(conn, ack{OK: false, Err: fmt.Sprintf("unsupported version %d", m.Version)})
+		closeFDs(fds)
+		return nil, fmt.Errorf("legacy receiver: unsupported version %d", m.Version)
+	}
+	if len(fds) != len(m.VIPs) {
+		closeFDs(fds)
+		sendAck(conn, ack{OK: false, Err: "fd/vip count mismatch"})
+		return nil, fmt.Errorf("legacy receiver: %d fds for %d vips", len(fds), len(m.VIPs))
+	}
+	set := NewListenerSet()
+	for i, fd := range fds {
+		ln, err := netx.ListenerFromFD(fd, m.VIPs[i].Name)
+		if err != nil {
+			set.Close()
+			closeFDs(fds[i+1:])
+			sendAck(conn, ack{OK: false, Err: err.Error()})
+			return nil, err
+		}
+		if err := set.AddTCP(m.VIPs[i].Name, ln); err != nil {
+			ln.Close()
+			set.Close()
+			closeFDs(fds[i+1:])
+			return nil, err
+		}
+	}
+	if err := sendAck(conn, ack{OK: true, Adopted: set.Len()}); err != nil {
+		set.Close()
+		return nil, err
+	}
+	return set, nil
+}
+
+// legacyHandoffV1 replicates the pre-two-phase sender: manifest without
+// a proto field, then exactly one confirmation frame, which must be the
+// single ACK. It returns the frame kind it received so tests can assert
+// a v2 receiver never answered a v1 sender with a PREPARE-ACK.
+func legacyHandoffV1(conn *net.UnixConn, set *ListenerSet, timeout time.Duration) (byte, error) {
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	m := legacyManifest{Magic: magic, Version: version, VIPs: set.VIPs()}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return 0, err
+	}
+	fds, err := set.fds()
+	if err != nil {
+		return 0, err
+	}
+	defer closeFDs(fds)
+	if err := writeFrame(conn, msgManifest, payload, fds); err != nil {
+		return 0, err
+	}
+	kind, ackPayload, stray, err := readFrame(conn)
+	if err != nil {
+		return 0, err
+	}
+	closeFDs(stray)
+	if kind != msgAck {
+		return kind, fmt.Errorf("legacy sender: expected single-ack frame kind %d, got %d", msgAck, kind)
+	}
+	var a ack
+	if err := json.Unmarshal(ackPayload, &a); err != nil {
+		return kind, err
+	}
+	if !a.OK {
+		return kind, fmt.Errorf("legacy sender: nacked: %s", a.Err)
+	}
+	return kind, nil
+}
+
+// assertListenerServes proves an adopted listener really accepts: the
+// negotiation must transfer working sockets, not just survive the JSON.
+func assertListenerServes(t *testing.T, set *ListenerSet, name string) {
+	t.Helper()
+	ln := set.TCP(name)
+	if ln == nil {
+		t.Fatalf("adopted set has no TCP listener %q", name)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dialing adopted listener: %v", err)
+	}
+	c.Close()
+	<-done
+}
+
+// TestV2SenderToV1Receiver: a two-phase sender offering ProtoTwoPhase to
+// a v1 receiver must negotiate down to the one-shot exchange — complete
+// the hand-off on the v1 receiver's single ACK, write no COMMIT frame —
+// rather than fail into RestartFresh.
+func TestV2SenderToV1Receiver(t *testing.T) {
+	set := mustListen(t, VIP{Name: "web", Network: NetworkTCP, Addr: "127.0.0.1:0"})
+	a, b := pair(t)
+
+	type recvOut struct {
+		set *ListenerSet
+		err error
+	}
+	recvCh := make(chan recvOut, 1)
+	go func() {
+		s, err := legacyReceiveV1(b, 2*time.Second)
+		recvCh <- recvOut{s, err}
+	}()
+
+	res, err := HandoffWith(a, set, HandoffOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("v2 sender against v1 receiver: %v", err)
+	}
+	if res.Proto != ProtoOneShot {
+		t.Fatalf("negotiated proto = %d, want %d (one-shot)", res.Proto, ProtoOneShot)
+	}
+	if !res.Committed {
+		t.Fatal("negotiated-down hand-off not marked committed")
+	}
+
+	out := <-recvCh
+	if out.err != nil {
+		t.Fatalf("legacy receiver: %v", out.err)
+	}
+	defer out.set.Close()
+	// A v1 receiver returns immediately after its ACK: any COMMIT frame a
+	// confused sender wrote would rot in the socket buffer unread, and —
+	// worse — a v1 Server would misparse it. Prove the sender wrote
+	// nothing after the manifest by reading with a short deadline.
+	b.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, _ := b.Read(buf); n != 0 {
+		t.Fatalf("v2 sender wrote %d byte(s) after the v1 ack (frame kind %d)", n, buf[0])
+	}
+	assertListenerServes(t, out.set, "web")
+}
+
+// TestV1SenderToV2Receiver: a v1 sender (no proto field in the manifest)
+// against a two-phase receiver must get its classic single ACK — not a
+// PREPARE-ACK it cannot parse — with the receiver's Arm still running
+// before the confirmation.
+func TestV1SenderToV2Receiver(t *testing.T) {
+	set := mustListen(t, VIP{Name: "web", Network: NetworkTCP, Addr: "127.0.0.1:0"})
+	a, b := pair(t)
+
+	type sendOut struct {
+		kind byte
+		err  error
+	}
+	sendCh := make(chan sendOut, 1)
+	go func() {
+		kind, err := legacyHandoffV1(a, set, 2*time.Second)
+		sendCh <- sendOut{kind, err}
+	}()
+
+	armed := false
+	got, res, err := ReceiveWith(b, ReceiveOptions{
+		Timeout: 2 * time.Second,
+		Arm: func(s *ListenerSet, r *Result) error {
+			armed = true
+			if r.Proto != ProtoOneShot {
+				t.Errorf("Arm saw proto %d, want %d", r.Proto, ProtoOneShot)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("v2 receiver against v1 sender: %v", err)
+	}
+	defer got.Close()
+	if !armed {
+		t.Fatal("Arm never ran")
+	}
+	if res.Proto != ProtoOneShot {
+		t.Fatalf("negotiated proto = %d, want %d (one-shot)", res.Proto, ProtoOneShot)
+	}
+	if !res.Committed {
+		t.Fatal("one-shot hand-off not marked committed on the receiver")
+	}
+
+	out := <-sendCh
+	if out.err != nil {
+		t.Fatalf("legacy sender: %v", out.err)
+	}
+	if out.kind != msgAck {
+		t.Fatalf("legacy sender got frame kind %d, want %d (single ack)", out.kind, msgAck)
+	}
+	assertListenerServes(t, got, "web")
+}
+
+// TestForcedOneShotServer covers the operator escape hatch: a Server
+// pinned to ProtoOneShot speaks wire-identical v1 even to a two-phase
+// receiver, which must fall back rather than wait for a COMMIT that will
+// never come.
+func TestForcedOneShotServer(t *testing.T) {
+	set := mustListen(t, VIP{Name: "web", Network: NetworkTCP, Addr: "127.0.0.1:0"})
+	a, b := pair(t)
+
+	handCh := make(chan error, 1)
+	go func() {
+		res, err := HandoffWith(a, set, HandoffOptions{Timeout: 2 * time.Second, Proto: ProtoOneShot})
+		if err == nil && res.Proto != ProtoOneShot {
+			err = fmt.Errorf("forced one-shot negotiated proto %d", res.Proto)
+		}
+		handCh <- err
+	}()
+
+	got, res, err := ReceiveWith(b, ReceiveOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("receive from forced one-shot sender: %v", err)
+	}
+	defer got.Close()
+	if res.Proto != ProtoOneShot || !res.Committed {
+		t.Fatalf("res = proto %d committed %v, want one-shot committed", res.Proto, res.Committed)
+	}
+	if err := <-handCh; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,11 +12,19 @@
 //	    listeners and UDP packet sockets, one entry per VIP — with
 //	    sendmsg() and SCM_RIGHTS.
 //	(C) The new instance listens on the VIPs corresponding to the FDs
-//	    (reconstructing net.Listener/net.UDPConn values from them).
+//	    (reconstructing net.Listener/net.UDPConn values from them) and
+//	    arms them: accept loops running, health checks green.
 //	(D) The new instance confirms to the old server so it can start
-//	    draining existing connections.
-//	(E) On confirmation, the old instance stops handling new connections
-//	    and drains.
+//	    draining existing connections. On the current protocol revision
+//	    (ProtoTwoPhase) this confirmation is split in two: the receiver
+//	    sends PREPARE-ACK once it is armed, and the sender answers with
+//	    COMMIT — only then does draining begin. Any failure before the
+//	    COMMIT is delivered (arm error, receiver crash, timeout) aborts
+//	    the hand-off: the sender keeps serving, the receiver disarms, and
+//	    no client ever sees a reset. ProtoOneShot peers keep the original
+//	    single-ACK exchange, where the ACK itself is the commit point.
+//	(E) On commit, the old instance stops handling new connections and
+//	    drains.
 //	(F) The new instance takes over health-check responsibility.
 //
 // Because the FDs are shared file-table entries, the listening sockets are
@@ -45,6 +53,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -62,19 +71,42 @@ const (
 
 // protocol constants.
 const (
-	magic       = 0x5a44 // "ZD"
+	magic = 0x5a44 // "ZD"
+	// version is the wire epoch byte. It stays 1: v1 receivers hard-reject
+	// any other value with no retry, so protocol revisions are negotiated
+	// in-band via the manifest's proto field instead (see ProtoTwoPhase).
 	version     = 1
 	maxManifest = 1 << 20
 
 	msgManifest     = 1
-	msgAck          = 2
+	msgAck          = 2 // receiver → sender: one-shot confirmation (v1 step D)
 	msgFDChunk      = 3
 	msgDrainStarted = 4 // sender → receiver: accepting stopped, drain begun (step E)
+	msgPrepareAck   = 5 // receiver → sender: armed and serving, awaiting commit
+	msgCommit       = 6 // sender → receiver: hand-off committed, drain begins now
+	msgAbort        = 7 // sender → receiver: hand-off abandoned before commit
 
 	// fdsPerFrame bounds descriptors per sendmsg; Linux caps SCM_RIGHTS
 	// at 253 per message, and netx enforces its own lower bound. Larger
 	// VIP sets are split across continuation frames.
 	fdsPerFrame = 64
+)
+
+// Protocol revisions, negotiated via the manifest's proto field. A v2
+// sender always offers ProtoTwoPhase; a v1 receiver never sees the field
+// (unknown JSON keys are ignored) and answers with its classic single
+// ACK, which the sender accepts as a negotiated-down one-shot hand-off.
+// A v1 sender never writes the field, so a v2 receiver falls back to the
+// one-shot exchange too. Both directions interoperate without a flag day.
+const (
+	// ProtoOneShot is the original protocol: the receiver's ACK is the
+	// commit point, so an adopt failure after the ACK leaves only
+	// RestartFresh (a rebind) as recovery.
+	ProtoOneShot = 1
+	// ProtoTwoPhase splits the confirmation into PREPARE-ACK (receiver
+	// armed) and COMMIT (sender stops accepting): every failure before
+	// COMMIT rolls both sides back with zero client-visible resets.
+	ProtoTwoPhase = 2
 )
 
 // DefaultHandshakeTimeout bounds each protocol step.
@@ -289,7 +321,12 @@ func (s *ListenerSet) fds() ([]int, error) {
 type manifest struct {
 	Magic   uint16 `json:"magic"`
 	Version uint8  `json:"version"`
-	VIPs    []VIP  `json:"vips"`
+	// Proto is the protocol revision the sender offers (ProtoTwoPhase).
+	// Absent/zero means a v1 sender: the receiver runs the one-shot
+	// exchange. v1 receivers ignore the field entirely, which is what
+	// makes the negotiation backward-compatible in both directions.
+	Proto uint8 `json:"proto,omitempty"`
+	VIPs  []VIP `json:"vips"`
 	// Meta carries side-band hand-off data the new instance needs before
 	// serving — e.g. the old instance's pre-configured host-local UDP
 	// forwarding address for user-space routing of draining flows (§4.1).
@@ -327,6 +364,14 @@ type Result struct {
 	// accepting and began draining (receiver side; requires a sender that
 	// announces metaDrainNotify, i.e. Server.ListenAndServe).
 	DrainConfirmed bool
+	// Proto is the negotiated protocol revision (ProtoOneShot or
+	// ProtoTwoPhase).
+	Proto int
+	// Committed reports the hand-off passed its commit point: the sender
+	// has stopped accepting and is draining. Always true on a successful
+	// hand-off; it exists so failure paths can be classified (see
+	// ErrAborted).
+	Committed bool
 }
 
 var (
@@ -336,7 +381,22 @@ var (
 	// ErrBadMagic indicates the peer is not speaking the takeover
 	// protocol (§5.1: guard against a mis-deployed binary).
 	ErrBadMagic = errors.New("takeover: bad protocol magic")
+	// ErrAborted marks a receiver-side hand-off failure that happened
+	// before the commit point: the sender never began draining (or rolled
+	// back to serving), no client saw a reset, and the caller may safely
+	// retry with a freshly built receiver. Failures NOT wrapped in
+	// ErrAborted (e.g. post-commit promotion errors) fall through to the
+	// RestartFresh remediation instead.
+	ErrAborted = errors.New("takeover: hand-off aborted before commit")
 )
+
+// abortErr classifies err as a pre-commit abort.
+func abortErr(err error) error {
+	if err == nil || errors.Is(err, ErrAborted) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrAborted, err)
+}
 
 func writeFrame(conn *net.UnixConn, kind byte, payload []byte, fds []int) error {
 	hdr := make([]byte, 5+len(payload))
@@ -347,37 +407,44 @@ func writeFrame(conn *net.UnixConn, kind byte, payload []byte, fds []int) error 
 }
 
 func readFrame(conn *net.UnixConn) (kind byte, payload []byte, fds []int, err error) {
-	// A single recvmsg returns the whole datagram-ish frame because the
-	// sender issues exactly one sendmsg per frame and frames are far below
-	// the socket buffer size. SOCK_STREAM may still split, so loop for the
-	// declared payload length.
-	buf := make([]byte, maxManifest)
-	data, fds, err := netx.ReadFDs(conn, buf)
-	if err != nil {
+	// SOCK_STREAM has no message boundaries: consecutive frames (e.g. the
+	// two-phase COMMIT immediately followed by the drain-started
+	// confirmation) coalesce into one socket read, and a large payload
+	// splits across many. Read exactly the 5-byte header, then exactly
+	// the declared payload length, never consuming bytes of the next
+	// frame. SCM_RIGHTS ancillary data rides the first byte of its
+	// sendmsg's segment, so collecting FDs from every recvmsg along the
+	// way picks them up regardless of how the stream fragments.
+	fail := func(err error) (byte, []byte, []int, error) {
+		closeFDs(fds)
 		return 0, nil, nil, err
 	}
-	if len(data) < 5 {
-		closeFDs(fds)
-		return 0, nil, nil, fmt.Errorf("takeover: short frame (%d bytes)", len(data))
-	}
-	kind = data[0]
-	want := int(binary.BigEndian.Uint32(data[1:5]))
-	if want > maxManifest {
-		closeFDs(fds)
-		return 0, nil, nil, fmt.Errorf("takeover: oversized frame (%d bytes)", want)
-	}
-	payload = data[5:]
-	for len(payload) < want {
-		n, err := conn.Read(buf)
-		if err != nil {
-			closeFDs(fds)
-			return 0, nil, nil, err
+	readExact := func(buf []byte) error {
+		for off := 0; off < len(buf); {
+			data, more, err := netx.ReadFDs(conn, buf[off:])
+			fds = append(fds, more...)
+			if err != nil {
+				return err
+			}
+			if len(data) == 0 {
+				return fmt.Errorf("takeover: empty read mid-frame")
+			}
+			off += len(data)
 		}
-		payload = append(payload, buf[:n]...)
+		return nil
 	}
-	if len(payload) != want {
-		closeFDs(fds)
-		return 0, nil, nil, fmt.Errorf("takeover: frame length mismatch: %d != %d", len(payload), want)
+	hdr := make([]byte, 5)
+	if err := readExact(hdr); err != nil {
+		return fail(err)
+	}
+	kind = hdr[0]
+	want := int(binary.BigEndian.Uint32(hdr[1:5]))
+	if want > maxManifest {
+		return fail(fmt.Errorf("takeover: oversized frame (%d bytes)", want))
+	}
+	payload = make([]byte, want)
+	if err := readExact(payload); err != nil {
+		return fail(err)
 	}
 	return kind, payload, fds, nil
 }
@@ -398,14 +465,46 @@ func closeFDs(fds []int) {
 // until it exits, which is harmless because both instances share the file
 // table entries.
 func Handoff(conn *net.UnixConn, set *ListenerSet, timeout time.Duration) (*Result, error) {
-	return HandoffMeta(conn, set, nil, timeout)
+	return HandoffWith(conn, set, HandoffOptions{Timeout: timeout})
 }
 
 // HandoffMeta is Handoff with side-band metadata delivered to the
 // receiver's Result.Meta.
 func HandoffMeta(conn *net.UnixConn, set *ListenerSet, meta map[string]string, timeout time.Duration) (*Result, error) {
+	return HandoffWith(conn, set, HandoffOptions{Meta: meta, Timeout: timeout})
+}
+
+// HandoffOptions configures the sender side of a hand-off.
+type HandoffOptions struct {
+	// Meta is side-band hand-off data delivered to the receiver's
+	// Result.Meta.
+	Meta map[string]string
+	// Timeout bounds the exchange; zero means DefaultHandshakeTimeout.
+	Timeout time.Duration
+	// Parent, when non-nil, gets a "takeover.prepare" child span covering
+	// the manifest+FD transfer through commit delivery. An aborted
+	// hand-off fails that span and records no "takeover.commit" span.
+	Parent *obs.Span
+	// Proto is the protocol revision to offer; zero means ProtoTwoPhase.
+	// ProtoOneShot forces the legacy single-ACK exchange (wire-identical
+	// to a v1 sender).
+	Proto int
+}
+
+// HandoffWith is Handoff with explicit options. On an error the hand-off
+// aborted before this instance stopped accepting: it is still fully in
+// charge and must keep serving.
+func HandoffWith(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Result, error) {
+	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
+	}
+	proto := opts.Proto
+	if proto == 0 {
+		proto = ProtoTwoPhase
+	}
+	if proto != ProtoOneShot && proto != ProtoTwoPhase {
+		return nil, fmt.Errorf("takeover: unknown protocol revision %d", proto)
 	}
 	start := time.Now()
 	deadline := start.Add(timeout)
@@ -414,14 +513,35 @@ func HandoffMeta(conn *net.UnixConn, set *ListenerSet, meta map[string]string, t
 	}
 	defer conn.SetDeadline(time.Time{})
 
-	m := manifest{Magic: magic, Version: version, VIPs: set.VIPs(), Meta: meta}
+	sp := opts.Parent.StartChild("takeover.prepare")
+	sp.SetAttr("side", "sender")
+	fail := func(err error) (*Result, error) {
+		sp.Fail(err)
+		sp.End()
+		return nil, err
+	}
+	// abort additionally tells a still-live receiver to disarm right away
+	// instead of waiting out its commit deadline. Best-effort: if the
+	// connection is dead the receiver's read fails just as promptly.
+	abort := func(err error) (*Result, error) {
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		writeFrame(conn, msgAbort, []byte(err.Error()), nil)
+		return fail(err)
+	}
+
+	m := manifest{Magic: magic, Version: version, VIPs: set.VIPs(), Meta: opts.Meta}
+	if proto == ProtoTwoPhase {
+		// A forced one-shot offer stays byte-identical to a v1 sender
+		// (field absent).
+		m.Proto = ProtoTwoPhase
+	}
 	payload, err := json.Marshal(m)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	fds, err := set.fds()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	defer closeFDs(fds) // our dups; receiver has its own after sendmsg
 	first := fds
@@ -429,7 +549,7 @@ func HandoffMeta(conn *net.UnixConn, set *ListenerSet, meta map[string]string, t
 		first = first[:fdsPerFrame]
 	}
 	if err := writeFrame(conn, msgManifest, payload, first); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	// Continuation frames for large VIP sets.
 	for off := fdsPerFrame; off < len(fds); off += fdsPerFrame {
@@ -438,50 +558,101 @@ func HandoffMeta(conn *net.UnixConn, set *ListenerSet, meta map[string]string, t
 			end = len(fds)
 		}
 		if err := writeFrame(conn, msgFDChunk, nil, fds[off:end]); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 
 	kind, ackPayload, stray, err := readFrame(conn)
 	if err != nil {
-		return nil, fmt.Errorf("takeover: waiting for confirmation: %w", err)
+		return abort(fmt.Errorf("takeover: waiting for confirmation: %w", err))
 	}
 	closeFDs(stray)
-	if kind != msgAck {
-		return nil, fmt.Errorf("takeover: expected ack, got frame kind %d", kind)
+	if kind != msgAck && kind != msgPrepareAck {
+		return abort(fmt.Errorf("takeover: expected ack, got frame kind %d", kind))
 	}
 	var a ack
 	if err := json.Unmarshal(ackPayload, &a); err != nil {
-		return nil, fmt.Errorf("takeover: bad ack: %w", err)
+		return abort(fmt.Errorf("takeover: bad ack: %w", err))
 	}
 	if !a.OK {
-		return nil, fmt.Errorf("%w: %s", ErrRejected, a.Err)
+		// The receiver already rolled itself back; no abort frame needed.
+		return fail(fmt.Errorf("%w: %s", ErrRejected, a.Err))
 	}
-	return &Result{VIPs: m.VIPs, Duration: time.Since(start), PeerTrace: a.Trace}, nil
+	res := &Result{VIPs: m.VIPs, PeerTrace: a.Trace, Proto: ProtoOneShot}
+	if kind == msgPrepareAck {
+		if proto != ProtoTwoPhase {
+			return abort(fmt.Errorf("takeover: unexpected prepare-ack on a one-shot hand-off"))
+		}
+		// The receiver is armed and serving. This write is the commit
+		// point: if COMMIT cannot be delivered the receiver disarms and
+		// this instance keeps serving — nobody drains, nobody resets.
+		if err := writeFrame(conn, msgCommit, nil, nil); err != nil {
+			return fail(fmt.Errorf("takeover: delivering commit: %w", err))
+		}
+		res.Proto = ProtoTwoPhase
+	}
+	// A one-shot receiver's single ACK is already the commit point — a v1
+	// peer negotiates the two-phase offer down rather than failing it.
+	res.Committed = true
+	res.Duration = time.Since(start)
+	sp.SetAttr("proto", strconv.Itoa(res.Proto))
+	sp.End()
+	return res, nil
 }
 
 // Receive runs the receiver side (new instance): it reads the manifest and
 // FDs, reconstructs a ListenerSet, closes any FD it cannot adopt (orphan
 // prevention, §5.1), and confirms to the old instance.
 func Receive(conn *net.UnixConn, timeout time.Duration) (*ListenerSet, *Result, error) {
-	return ReceiveTraced(conn, timeout, nil)
+	return ReceiveWith(conn, ReceiveOptions{Timeout: timeout})
 }
 
 // ReceiveTraced is Receive with Fig. 5 step spans recorded as children of
-// parent (nil parent disables tracing):
-//
-//	takeover.step.B  manifest + FD frames read
-//	takeover.step.C  listeners reconstructed from the FDs
-//	takeover.step.D  confirmation sent
-//	takeover.step.E  sender's drain-start confirmation awaited
-//
-// Step E is only awaited when the sender announced it (metaDrainNotify in
-// the manifest); its failure is recorded on the span but does not fail
-// the hand-off — the sockets are already adopted.
+// parent (nil parent disables tracing).
 func ReceiveTraced(conn *net.UnixConn, timeout time.Duration, parent *obs.Span) (*ListenerSet, *Result, error) {
+	return ReceiveWith(conn, ReceiveOptions{Timeout: timeout, Parent: parent})
+}
+
+// ReceiveOptions configures the receiver side of a hand-off.
+type ReceiveOptions struct {
+	// Timeout bounds the exchange; zero means DefaultHandshakeTimeout.
+	Timeout time.Duration
+	// Parent, when non-nil, gets the Fig. 5 step spans as children:
+	//
+	//	takeover.step.B   manifest + FD frames read
+	//	takeover.step.C   listeners reconstructed from the FDs
+	//	takeover.prepare  Arm run, PREPARE-ACK sent   (two-phase)
+	//	takeover.commit   sender's COMMIT awaited     (two-phase)
+	//	takeover.step.D   Arm run, single ACK sent    (one-shot peers)
+	//	takeover.step.E   sender's drain-start confirmation awaited
+	//
+	// Step E is only awaited when the sender announced it (metaDrainNotify
+	// in the manifest); its failure is recorded on the span but does not
+	// fail the hand-off — the sockets are already adopted.
+	Parent *obs.Span
+	// Arm, when non-nil, runs after the listener set is reconstructed and
+	// must leave this instance fully serving (accept loops running,
+	// health checks green) before returning nil: its success is exactly
+	// what the confirmation — PREPARE-ACK or one-shot ACK — attests to.
+	// An error rolls the hand-off back: the sender is nacked and keeps
+	// serving, the set is closed, and the error is wrapped in ErrAborted.
+	Arm func(set *ListenerSet, res *Result) error
+	// Disarm, when non-nil, unwinds a successful Arm after a pre-commit
+	// abort (commit timeout, peer abort or crash). When nil the listener
+	// set is merely closed.
+	Disarm func(set *ListenerSet)
+}
+
+// ReceiveWith is Receive with explicit options. An error wrapped in
+// ErrAborted means the hand-off died before its commit point: the sender
+// keeps serving undisturbed and the caller may retry with a fresh
+// receiver.
+func ReceiveWith(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result, error) {
+	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
 	}
+	parent := opts.Parent
 	start := time.Now()
 	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
 		return nil, nil, err
@@ -613,16 +784,76 @@ func ReceiveTraced(conn *net.UnixConn, timeout time.Duration, parent *obs.Span) 
 	spC.SetAttr("adopted", fmt.Sprintf("%d", set.Len()))
 	spC.End()
 
-	spD := parent.StartChild("takeover.step.D")
-	if err := sendAck(conn, ack{OK: true, Adopted: set.Len(), Trace: parent.Context().String()}); err != nil {
-		set.Close()
+	res := &Result{VIPs: m.VIPs, Meta: m.Meta, OrphanedFDs: orphans, PeerTrace: m.Meta[TraceMetaKey], Proto: ProtoOneShot}
+	twoPhase := m.Proto >= ProtoTwoPhase
+	if twoPhase {
+		res.Proto = ProtoTwoPhase
+	}
+
+	// Arm before confirming: the confirmation — PREPARE-ACK on the
+	// two-phase protocol, the single ACK for one-shot peers — attests
+	// that this instance is already serving every VIP.
+	armSpan, ackKind := "takeover.step.D", byte(msgAck)
+	if twoPhase {
+		armSpan, ackKind = "takeover.prepare", msgPrepareAck
+	}
+	spD := parent.StartChild(armSpan)
+	spD.SetAttr("side", "receiver")
+	armed := false
+	disarm := func() {
+		if armed && opts.Disarm != nil {
+			opts.Disarm(set)
+		} else {
+			set.Close()
+		}
+	}
+	if opts.Arm != nil {
+		if err := opts.Arm(set, res); err != nil {
+			err = fmt.Errorf("takeover: arming receiver: %w", err)
+			sendAckKind(conn, ackKind, ack{OK: false, Err: err.Error()})
+			set.Close()
+			spD.Fail(err)
+			spD.End()
+			return nil, nil, abortErr(err)
+		}
+		armed = true
+	}
+	if err := sendAckKind(conn, ackKind, ack{OK: true, Adopted: set.Len(), Trace: parent.Context().String()}); err != nil {
+		disarm()
 		spD.Fail(err)
 		spD.End()
-		return nil, nil, err
+		return nil, nil, abortErr(err)
 	}
 	spD.End()
 
-	res := &Result{VIPs: m.VIPs, Meta: m.Meta, OrphanedFDs: orphans, PeerTrace: m.Meta[TraceMetaKey]}
+	if twoPhase {
+		// Await COMMIT. Until it arrives the sender may abort — with an
+		// explicit msgAbort, by crashing (read error/EOF), or by simply
+		// never answering (deadline) — and in every one of those cases
+		// this instance disarms: from the clients' point of view the
+		// hand-off never happened, and the sender keeps serving.
+		spCommit := parent.StartChild("takeover.commit")
+		spCommit.SetAttr("side", "receiver")
+		kind, payload, stray, err := readFrame(conn)
+		closeFDs(stray)
+		switch {
+		case err != nil:
+			err = fmt.Errorf("takeover: waiting for commit: %w", err)
+		case kind == msgAbort:
+			err = fmt.Errorf("takeover: peer aborted before commit: %s", payload)
+		case kind != msgCommit:
+			err = fmt.Errorf("takeover: expected commit, got frame kind %d", kind)
+		}
+		if err != nil {
+			disarm()
+			spCommit.Fail(err)
+			spCommit.End()
+			return nil, nil, abortErr(err)
+		}
+		spCommit.End()
+	}
+	res.Committed = true
+
 	if m.Meta[metaDrainNotify] == "1" {
 		// Step E: the old instance stops accepting and begins draining; it
 		// confirms with a msgDrainStarted frame. Best-effort — the sockets
@@ -646,11 +877,15 @@ func ReceiveTraced(conn *net.UnixConn, timeout time.Duration, parent *obs.Span) 
 }
 
 func sendAck(conn *net.UnixConn, a ack) error {
+	return sendAckKind(conn, msgAck, a)
+}
+
+func sendAckKind(conn *net.UnixConn, kind byte, a ack) error {
 	payload, err := json.Marshal(a)
 	if err != nil {
 		return err
 	}
-	return writeFrame(conn, msgAck, payload, nil)
+	return writeFrame(conn, kind, payload, nil)
 }
 
 // Server is the takeover server the old instance spawns (step A). It
@@ -667,14 +902,25 @@ type Server struct {
 	// draining (step E).
 	OnDrainStart func(Result)
 	// OnHandoffError, if non-nil, is invoked after a failed hand-off
-	// attempt (receiver died mid-handshake, ACK timeout, protocol error).
-	// The server has already rolled back: its dup'd FDs are closed, the
-	// instance never started draining, and it keeps accepting further
-	// hand-off attempts. The callback is the abort's observability hook
-	// (§5.1 — aborted releases must be visible, not silent).
+	// attempt (receiver died mid-handshake, arm failure nack, prepare-ack
+	// or commit-delivery timeout, protocol error). The server has already
+	// rolled back: its dup'd FDs are closed, the instance never started
+	// draining, and it keeps accepting further hand-off attempts. The
+	// callback is the abort's observability hook (§5.1 — aborted releases
+	// must be visible, not silent).
 	OnHandoffError func(error)
 	// HandshakeTimeout bounds each hand-off; zero means the default.
 	HandshakeTimeout time.Duration
+	// Tracer, if non-nil, records the sender-side view of every hand-off
+	// attempt: a "takeover.serve" root span with a "takeover.prepare"
+	// child (through commit delivery) and — only on committed hand-offs —
+	// a "takeover.commit" child covering the drain cut-over. An aborted
+	// attempt therefore shows a failed takeover.prepare and no
+	// takeover.commit.
+	Tracer *obs.Tracer
+	// Proto forces the offered protocol revision (compat testing); zero
+	// means ProtoTwoPhase.
+	Proto int
 
 	mu sync.Mutex
 	ul *net.UnixListener
@@ -707,19 +953,39 @@ func (s *Server) ListenAndServe(path string) error {
 			meta[k] = v
 		}
 		meta[metaDrainNotify] = "1"
-		res, err := HandoffMeta(conn, s.Set, meta, s.HandshakeTimeout)
+		sp := s.Tracer.StartSpan("takeover.serve", obs.SpanContext{})
+		sp.SetAttr("path", path)
+		res, err := HandoffWith(conn, s.Set, HandoffOptions{
+			Meta:    meta,
+			Timeout: s.HandshakeTimeout,
+			Parent:  sp,
+			Proto:   s.Proto,
+		})
 		if err != nil {
 			conn.Close()
-			// A failed hand-off leaves this instance fully in charge;
+			sp.Fail(err)
+			sp.End()
+			// An aborted hand-off leaves this instance fully in charge;
 			// keep serving so a retried deploy can connect again.
 			if s.OnHandoffError != nil {
 				s.OnHandoffError(err)
 			}
 			continue
 		}
+		// Committed: from here on the hand-off cannot roll back — this
+		// instance stops accepting and drains. A failure past this point
+		// is the caller's RestartFresh territory, never a silent retry.
+		spCommit := sp.StartChild("takeover.commit")
+		spCommit.SetAttr("side", "sender")
+		spCommit.SetAttr("proto", strconv.Itoa(res.Proto))
 		if s.OnDrainStart != nil {
 			s.OnDrainStart(*res)
 		}
+		// End the spans before the drain-started confirmation goes out: the
+		// frame releases the receiver, and a release report assembled right
+		// after must not catch this trace still in flight.
+		spCommit.End()
+		sp.End()
 		// Step E confirmation: accepting has stopped and draining has
 		// begun. Best-effort — a receiver that doesn't wait (bare
 		// Receive) has already hung up.
@@ -768,10 +1034,24 @@ func ConnectBackoff(path string, timeout time.Duration, bo faults.Backoff) (*Lis
 
 // ConnectTraced is ConnectBackoff with Fig. 5 step spans recorded as
 // children of parent: takeover.step.A covers the dial (one span per
-// attempt when dials are retried), and ReceiveTraced records steps B–E.
+// attempt when dials are retried), and the receive side records the
+// remaining steps (see ReceiveOptions.Parent).
 func ConnectTraced(path string, timeout time.Duration, bo faults.Backoff, parent *obs.Span) (*ListenerSet, *Result, error) {
+	return ConnectWith(path, timeout, bo, ReceiveOptions{Parent: parent})
+}
+
+// ConnectWith is ConnectBackoff with explicit receive options (arming
+// callbacks, tracing). Only dial failures are retried; protocol failures
+// behind a successful dial — including pre-commit aborts — are returned
+// to the caller, preserving their ErrAborted classification so the
+// orchestrator can decide between retrying with a fresh receiver and
+// giving up.
+func ConnectWith(path string, timeout time.Duration, bo faults.Backoff, opts ReceiveOptions) (*ListenerSet, *Result, error) {
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = timeout
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -780,7 +1060,7 @@ func ConnectTraced(path string, timeout time.Duration, bo faults.Backoff, parent
 		res *Result
 	)
 	err := bo.Retry(ctx, func() error {
-		spA := parent.StartChild("takeover.step.A")
+		spA := opts.Parent.StartChild("takeover.step.A")
 		spA.SetAttr("path", path)
 		d := net.Dialer{Timeout: timeout}
 		c, err := d.DialContext(ctx, "unix", path)
@@ -793,7 +1073,7 @@ func ConnectTraced(path string, timeout time.Duration, bo faults.Backoff, parent
 		spA.End()
 		conn := c.(*net.UnixConn)
 		defer conn.Close()
-		s, r, err := ReceiveTraced(conn, timeout, parent)
+		s, r, err := ReceiveWith(conn, opts)
 		if err != nil {
 			return faults.Permanent(err)
 		}
