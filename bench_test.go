@@ -31,9 +31,12 @@ import (
 )
 
 // runExperiment executes one figure generator b.N times, failing the
-// bench if the experiment errors.
+// bench if the experiment errors. Allocation counts are reported so the
+// figure-level benches double as coarse allocation regressions alongside
+// the per-package micro-benchmarks.
 func runExperiment(b *testing.B, run func() (experiments.Table, error)) experiments.Table {
 	b.Helper()
+	b.ReportAllocs()
 	var tab experiments.Table
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -193,6 +196,7 @@ func BenchmarkTblPPRRetries(b *testing.B) {
 // otherwise pay: a full TCP reconnect per connection.
 func BenchmarkAblationTakeoverVsReconnect(b *testing.B) {
 	b.Run("takeover-3vips", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			set, err := takeover.Listen(
 				takeover.VIP{Name: "a", Network: takeover.NetworkTCP, Addr: "127.0.0.1:0"},
@@ -222,6 +226,7 @@ func BenchmarkAblationTakeoverVsReconnect(b *testing.B) {
 		}
 	})
 	b.Run("client-reconnect", func(b *testing.B) {
+		b.ReportAllocs()
 		ln, err := netx.ListenTCPReusePort("127.0.0.1:0")
 		if err != nil {
 			b.Fatal(err)
@@ -252,6 +257,7 @@ func BenchmarkAblationTakeoverVsReconnect(b *testing.B) {
 func BenchmarkAblationConnIDRoutingVsRing(b *testing.B) {
 	for _, flows := range []int{1_000, 10_000} {
 		b.Run(fmt.Sprintf("flows-%d", flows), func(b *testing.B) {
+			b.ReportAllocs()
 			var trad, zdr int64
 			for i := 0; i < b.N; i++ {
 				t, err := quicx.SimulateReuseportRelease(8, flows, 3)
@@ -277,6 +283,7 @@ func BenchmarkAblationConnIDRoutingVsRing(b *testing.B) {
 // value is pinning every *other* flow through the Maglev reshuffle.
 func BenchmarkAblationLRUFlowCache(b *testing.B) {
 	run := func(b *testing.B, cacheSize int) {
+		b.ReportAllocs()
 		collateral := 0
 		for iter := 0; iter < b.N; iter++ {
 			lb := katran.New("lb", katran.Config{FlowCacheSize: cacheSize}, nil)
@@ -315,6 +322,7 @@ func BenchmarkAblationLRUFlowCache(b *testing.B) {
 // former and die with the latter.
 func BenchmarkAblationGoawayDrain(b *testing.B) {
 	run := func(b *testing.B, graceful bool) {
+		b.ReportAllocs()
 		survived := 0
 		for i := 0; i < b.N; i++ {
 			cc, sc := netPipe()
@@ -360,6 +368,7 @@ func BenchmarkAblationGoawayDrain(b *testing.B) {
 // memory the Origin would need to buffer every in-flight POST versus PPR's
 // near-zero steady-state cost.
 func BenchmarkAblationBufferVsPPR(b *testing.B) {
+	b.ReportAllocs()
 	var bufferBytes float64
 	for i := 0; i < b.N; i++ {
 		// 10k concurrent uploads at a mid-size Origin. Fresh seed per

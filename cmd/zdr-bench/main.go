@@ -1,0 +1,175 @@
+// Command zdr-bench runs the data-plane micro-benchmarks and writes a
+// machine-readable baseline. The checked-in repo-root BENCH_baseline.json
+// is produced by:
+//
+//	go run ./cmd/zdr-bench -out BENCH_baseline.json
+//
+// Regenerate it on the same class of hardware when a change is expected
+// to move the numbers, and quote before/after in the PR description (see
+// DESIGN.md §8). CI runs the same benchmarks with -benchtime 1x as a
+// smoke test — compile-and-run coverage, not a performance gate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// hotPackages are the packages holding data-plane micro-benchmarks.
+var hotPackages = []string{
+	"./internal/katran",
+	"./internal/h2t",
+	"./internal/http1",
+	"./internal/quicx",
+	"./internal/bufpool",
+}
+
+// Result is one benchmark line.
+type Result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the emitted document.
+type Baseline struct {
+	Command    string   `json:"command"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchtime  string   `json:"benchtime"`
+	CPU        string   `json:"cpu"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_baseline.json", "output file (- for stdout)")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	cpu := flag.String("cpu", "4", "go test -cpu value")
+	pattern := flag.String("bench", ".", "go test -bench pattern")
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *pattern,
+		"-benchmem",
+		"-benchtime", *benchtime,
+		"-cpu", *cpu,
+	}
+	args = append(args, hotPackages...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		os.Stdout.Write(raw)
+		fmt.Fprintf(os.Stderr, "zdr-bench: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	results, err := parseBenchOutput(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zdr-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "zdr-bench: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	doc := Baseline{
+		Command:    "go run ./cmd/zdr-bench -benchtime " + *benchtime + " -cpu " + *cpu,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchtime:  *benchtime,
+		CPU:        *cpu,
+		Benchmarks: results,
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zdr-bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "zdr-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("zdr-bench: wrote %d results to %s\n", len(results), *out)
+}
+
+// parseBenchOutput extracts benchmark lines from go test output, tracking
+// the current package from the "pkg:" preamble lines.
+func parseBenchOutput(raw []byte) ([]Result, error) {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseBenchLine(pkg, line)
+		if !ok {
+			return nil, fmt.Errorf("unparseable benchmark line: %q", line)
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkForward-4  11105  103.6 ns/op  0 B/op  0 allocs/op
+func parseBenchLine(pkg, line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	r := Result{Package: pkg, Name: f[0]}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "MB/s":
+			r.MBPerSec, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			r.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		default:
+			// Custom ReportMetric units: ignore.
+			err = nil
+		}
+		if err != nil {
+			return Result{}, false
+		}
+	}
+	return r, true
+}

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"zdr/internal/bufpool"
 	"zdr/internal/http1"
 	"zdr/internal/metrics"
 	"zdr/internal/obs"
@@ -309,7 +310,17 @@ func (s *Server) readBodyInterruptible(conn net.Conn, req *http1.Request) (body 
 	if req.Body == nil {
 		return nil, true, nil
 	}
-	buf := make([]byte, s.cfg.BodyChunk)
+	bp := bufpool.Get(s.cfg.BodyChunk)
+	defer bufpool.Put(bp)
+	buf := (*bp)[:s.cfg.BodyChunk]
+	if cl := req.ContentLength; cl > 0 {
+		// Pre-size from the declared length, capped: the peer is a
+		// trusted proxy but the header is still client-originated.
+		if cl > 1<<20 {
+			cl = 1 << 20
+		}
+		body = make([]byte, 0, cl)
+	}
 	for {
 		select {
 		case <-s.drainCh:
@@ -340,7 +351,9 @@ func (s *Server) readBodyInterruptible(conn net.Conn, req *http1.Request) (body 
 // the grace window (then it is served normally instead of handed back).
 func (s *Server) graceRead(conn net.Conn, req *http1.Request, body []byte) ([]byte, bool, error) {
 	silence := s.cfg.GraceSilence
-	buf := make([]byte, s.cfg.BodyChunk)
+	bp := bufpool.Get(s.cfg.BodyChunk)
+	defer bufpool.Put(bp)
+	buf := (*bp)[:s.cfg.BodyChunk]
 	deadline := time.Now().Add(s.cfg.GraceWindow)
 	for time.Now().Before(deadline) {
 		conn.SetReadDeadline(time.Now().Add(silence))

@@ -106,6 +106,16 @@ type Scenario struct {
 	AbortRate        float64       // probability an op aborts the conn
 	AbortMinOps      int           // ops exempt from abort at the head of a conn (lets handshakes complete)
 
+	// Bandwidth shaping: when BandwidthBytesPerSec > 0, every wrapped
+	// stream connection's writes pass through a per-connection token
+	// bucket of that sustained rate, with BandwidthBurstBytes of burst
+	// capacity (default: 100 ms worth of the rate). Shaping composes with
+	// the scheduled faults above — WriteDelayRate/WriteDelayMax remain
+	// the per-operation jitter knobs — and, unlike them, is continuous
+	// rather than sampled, so it models a slow link instead of a glitch.
+	BandwidthBytesPerSec float64
+	BandwidthBurstBytes  int
+
 	// Datagram faults.
 	DropRate float64 // probability a datagram is dropped (each direction)
 
@@ -274,7 +284,11 @@ func (in *Injector) Conn(c net.Conn) net.Conn {
 	if in == nil || c == nil {
 		return c
 	}
-	return &conn{Conn: c, in: in, pl: in.nextPlan()}
+	return &conn{Conn: c, in: in, pl: in.nextPlan(), sh: in.newShaper()}
+}
+
+func (in *Injector) newShaper() *shaper {
+	return newShaper(in.sc.BandwidthBytesPerSec, in.sc.BandwidthBurstBytes)
 }
 
 // Listener wraps l so every accepted connection is fault-wrapped. Nil
@@ -316,7 +330,7 @@ func (in *Injector) Dial(network, addr string, timeout time.Duration) (net.Conn,
 	if err != nil {
 		return nil, err
 	}
-	return &conn{Conn: c, in: in, pl: pl}, nil
+	return &conn{Conn: c, in: in, pl: pl, sh: in.newShaper()}, nil
 }
 
 // listener fault-wraps accepted connections.
@@ -333,11 +347,64 @@ func (l *listener) Accept() (net.Conn, error) {
 	return l.in.Conn(c), nil
 }
 
+// shaper is a token bucket limiting sustained write throughput. Tokens
+// are bytes; a write spends its size and sleeps off any debt, so large
+// writes simply owe proportionally longer — sustained rate stays exact
+// regardless of write sizing.
+type shaper struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // bucket capacity, bytes
+	tokens float64
+	last   time.Time
+}
+
+// newShaper returns nil (no shaping) when rate <= 0. burst <= 0 defaults
+// to 100 ms worth of the rate.
+func newShaper(rate float64, burst int) *shaper {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = rate / 10
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &shaper{rate: rate, burst: b, tokens: b, last: time.Now()}
+}
+
+// take spends n tokens, sleeping until the bucket (refilled at rate, capped
+// at burst) covers the debt. Nil-receiver safe.
+func (s *shaper) take(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	now := time.Now()
+	s.tokens += now.Sub(s.last).Seconds() * s.rate
+	if s.tokens > s.burst {
+		s.tokens = s.burst
+	}
+	s.last = now
+	s.tokens -= float64(n)
+	var wait time.Duration
+	if s.tokens < 0 {
+		wait = time.Duration(-s.tokens / s.rate * float64(time.Second))
+	}
+	s.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
 // conn applies a Plan's read/write schedules to a stream connection.
 type conn struct {
 	net.Conn
 	in *Injector
 	pl Plan
+	sh *shaper
 
 	rmu  sync.Mutex
 	ridx int
@@ -380,6 +447,7 @@ func (c *conn) Read(p []byte) (int, error) {
 }
 
 func (c *conn) Write(p []byte) (int, error) {
+	c.sh.take(len(p))
 	c.wmu.Lock()
 	var st Step
 	if c.widx < len(c.pl.Writes) {

@@ -8,10 +8,15 @@ import (
 // recvBuffer is an unbounded byte buffer with blocking reads. The session
 // reader goroutine appends DATA payloads; stream consumers Read. Unbounded
 // buffering stands in for HTTP/2 flow control (see package comment).
+// Buffered bytes are data[off:]. Consuming by advancing off (rather than
+// reslicing data) keeps the backing array, so a stream that is drained as
+// fast as it fills reuses one allocation for its whole life instead of
+// growing a fresh array every time append follows a reslice.
 type recvBuffer struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	data   []byte
+	off    int
 	eof    bool  // peer half-closed cleanly
 	err    error // terminal error (RST / session death)
 	closed bool  // local reader gave up
@@ -32,6 +37,17 @@ func (b *recvBuffer) append(p []byte) {
 	defer b.mu.Unlock()
 	if b.eof || b.err != nil || b.closed {
 		return
+	}
+	if b.off == len(b.data) {
+		// Fully drained: rewind and reuse the backing array.
+		b.data = b.data[:0]
+		b.off = 0
+	} else if b.off > 0 && len(b.data)+len(p) > cap(b.data) {
+		// Would grow: compact first so the dead head isn't copied into
+		// (and kept alive by) the new, larger array.
+		n := copy(b.data, b.data[b.off:])
+		b.data = b.data[:n]
+		b.off = 0
 	}
 	b.data = append(b.data, p...)
 	b.cond.Broadcast()
@@ -61,6 +77,7 @@ func (b *recvBuffer) close() {
 	defer b.mu.Unlock()
 	b.closed = true
 	b.data = nil
+	b.off = 0
 	b.cond.Broadcast()
 }
 
@@ -69,9 +86,13 @@ func (b *recvBuffer) Read(p []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
-		if len(b.data) > 0 {
-			n := copy(p, b.data)
-			b.data = b.data[n:]
+		if b.off < len(b.data) {
+			n := copy(p, b.data[b.off:])
+			b.off += n
+			if b.off == len(b.data) {
+				b.data = b.data[:0]
+				b.off = 0
+			}
 			return n, nil
 		}
 		if b.closed {

@@ -118,8 +118,18 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return nil
 }
 
-// ReadFrame parses one frame from r.
+// ReadFrame parses one frame from r. The returned payload is freshly
+// allocated and owned by the caller; the session read loop uses
+// readFrameInto instead to avoid that per-frame allocation.
 func ReadFrame(r io.Reader) (Frame, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto parses one frame from r. When scratch is non-nil and large
+// enough (len >= maxFramePayload), the payload is read into it and
+// f.Payload aliases scratch — valid only until the caller's next read.
+// Anything that outlives that window must copy the bytes out.
+func readFrameInto(r io.Reader, scratch []byte) (Frame, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err
@@ -134,7 +144,11 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, ErrFrameTooLarge
 	}
 	if n > 0 {
-		f.Payload = make([]byte, n)
+		if int(n) <= len(scratch) {
+			f.Payload = scratch[:n]
+		} else {
+			f.Payload = make([]byte, n)
+		}
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
 			return Frame{}, err
 		}

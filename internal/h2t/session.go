@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"zdr/internal/bufpool"
 )
 
 // Session errors.
@@ -39,7 +41,13 @@ type Session struct {
 	conn     net.Conn
 	isClient bool
 
-	wmu sync.Mutex // serializes writeFrame
+	// Write-side scratch, guarded by wmu: the frame header and the two-
+	// element vector handed to net.Buffers.WriteTo live on the session so
+	// a frame write is a single vectored syscall with zero allocations.
+	wmu   sync.Mutex // serializes writeFrame
+	whdr  [frameHeaderLen]byte
+	wvec  [2][]byte
+	wbufs net.Buffers
 
 	mu         sync.Mutex
 	streams    map[uint32]*Stream
@@ -106,9 +114,29 @@ func NewSession(conn net.Conn, isClient bool, opts ...Option) *Session {
 }
 
 func (s *Session) writeFrame(f Frame) error {
+	if len(f.Payload) > maxFramePayload {
+		return ErrFrameTooLarge
+	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	return WriteFrame(s.conn, f)
+	s.whdr[0] = uint8(f.Type)
+	s.whdr[1] = f.Flags
+	binary.BigEndian.PutUint32(s.whdr[2:6], f.StreamID)
+	binary.BigEndian.PutUint32(s.whdr[6:10], uint32(len(f.Payload)))
+	if len(f.Payload) == 0 {
+		_, err := s.conn.Write(s.whdr[:])
+		return err
+	}
+	// Header + payload go out in one writev (net.Buffers fast path on TCP
+	// conns; sequential writes elsewhere), so the peer never sees a header
+	// without its payload in a separate segment and nothing is allocated
+	// to concatenate them.
+	s.wvec[0] = s.whdr[:]
+	s.wvec[1] = f.Payload
+	s.wbufs = s.wvec[:]
+	_, err := s.wbufs.WriteTo(s.conn)
+	s.wvec[1] = nil // do not retain the caller's payload
+	return err
 }
 
 // OpenStream starts a new stream with the given headers. If endStream is
@@ -303,8 +331,14 @@ func (s *Session) peerInitiated(id uint32) bool {
 }
 
 func (s *Session) readLoop() {
+	// One pooled scratch buffer serves every frame on the session; frame
+	// payloads alias it, so handleFrame must copy anything it retains
+	// past the current iteration (recvBuffer.append copies; control
+	// frames are copied explicitly in handleFrame).
+	scratch := bufpool.Get(maxFramePayload)
+	defer bufpool.Put(scratch)
 	for {
-		f, err := ReadFrame(s.conn)
+		f, err := readFrameInto(s.conn, *scratch)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				s.shutdown(ErrSessionClosed)
@@ -364,7 +398,15 @@ func (s *Session) handleFrame(f Frame) {
 		s.writeFrame(Frame{Type: FramePing, Flags: FlagAck, Payload: f.Payload})
 	case FrameReconnectSolicitation, FrameConnectAck, FrameConnectRefuse:
 		if st := s.lookup(f.StreamID); st != nil {
-			st.deliverControl(Control{Type: f.Type, Payload: f.Payload})
+			// The payload aliases the read loop's scratch buffer but the
+			// Control sits in a channel past this iteration: copy it.
+			// Control frames are per-reconnect, not per-byte, so this
+			// allocation is off the hot path.
+			var payload []byte
+			if len(f.Payload) > 0 {
+				payload = append(payload, f.Payload...)
+			}
+			st.deliverControl(Control{Type: f.Type, Payload: payload})
 		}
 	default:
 		// Unknown frame types are ignored for forward compatibility.

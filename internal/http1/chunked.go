@@ -2,6 +2,7 @@ package http1
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -19,7 +20,15 @@ type ChunkedWriter struct {
 	// bytesWritten counts decoded body bytes emitted so far.
 	bytesWritten int64
 	closed       bool
+	// Per-chunk scratch: the hex size header and the three-element vector
+	// handed to net.Buffers live on the writer so encoding a chunk
+	// allocates nothing and reaches the socket in one writev.
+	hdr  [18]byte // 16 hex digits + CRLF
+	vec  [3][]byte
+	bufs net.Buffers
 }
+
+var crlf = []byte("\r\n")
 
 // NewChunkedWriter wraps w.
 func NewChunkedWriter(w io.Writer) *ChunkedWriter { return &ChunkedWriter{w: w} }
@@ -32,13 +41,15 @@ func (cw *ChunkedWriter) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	if _, err := fmt.Fprintf(cw.w, "%x\r\n", len(p)); err != nil {
-		return 0, err
-	}
-	if _, err := cw.w.Write(p); err != nil {
-		return 0, err
-	}
-	if _, err := io.WriteString(cw.w, "\r\n"); err != nil {
+	hdr := strconv.AppendUint(cw.hdr[:0], uint64(len(p)), 16)
+	hdr = append(hdr, '\r', '\n')
+	cw.vec[0] = hdr
+	cw.vec[1] = p
+	cw.vec[2] = crlf
+	cw.bufs = cw.vec[:]
+	_, err := cw.bufs.WriteTo(cw.w)
+	cw.vec[1] = nil // do not retain the caller's payload
+	if err != nil {
 		return 0, err
 	}
 	cw.bytesWritten += int64(len(p))
@@ -83,27 +94,78 @@ func (cr *ChunkedReader) InChunk() bool { return cr.remaining > 0 }
 // Done reports whether the terminal chunk has been consumed.
 func (cr *ChunkedReader) Done() bool { return cr.done }
 
+// errLineTooLong bounds framing lines to fence off malformed peers.
+var errLineTooLong = errors.New("http1: chunk framing line too long")
+
 // readLineResumable reads a CRLF-terminated framing line, preserving any
 // partial line across timeout errors so a read interrupted by a deadline
 // (the PPR drain kick) can resume without corrupting the framing state.
-func (cr *ChunkedReader) readLineResumable() (string, error) {
+//
+// The returned slice is valid only until the next read on cr — it aliases
+// either bufio's internal buffer (the common, zero-allocation case) or
+// cr.lineBuf. Callers consume it immediately.
+func (cr *ChunkedReader) readLineResumable() ([]byte, error) {
 	for {
-		frag, err := cr.br.ReadString('\n')
-		cr.lineBuf = append(cr.lineBuf, frag...)
+		frag, err := cr.br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			// Line longer than bufio's buffer: spill and keep reading.
+			cr.lineBuf = append(cr.lineBuf, frag...)
+			if len(cr.lineBuf) > 64<<10 {
+				return nil, errLineTooLong
+			}
+			continue
+		}
 		if err != nil {
-			return "", err
+			// Retain the partial line (timeouts resume here; terminal
+			// errors make the retained bytes moot).
+			cr.lineBuf = append(cr.lineBuf, frag...)
+			if len(cr.lineBuf) > 64<<10 {
+				return nil, errLineTooLong
+			}
+			return nil, err
 		}
-		if len(cr.lineBuf) > 64<<10 {
-			return "", errors.New("http1: chunk framing line too long")
+		var line []byte
+		if len(cr.lineBuf) > 0 {
+			line = append(cr.lineBuf, frag...)
+			cr.lineBuf = cr.lineBuf[:0]
+			if len(line) > 64<<10 {
+				return nil, errLineTooLong
+			}
+		} else {
+			line = frag
 		}
-		line := cr.lineBuf[:len(cr.lineBuf)-1] // strip \n
+		line = line[:len(line)-1] // strip \n
 		if len(line) > 0 && line[len(line)-1] == '\r' {
 			line = line[:len(line)-1]
 		}
-		out := string(line)
-		cr.lineBuf = cr.lineBuf[:0]
-		return out, nil
+		return line, nil
 	}
+}
+
+// parseHexUint parses a bare hexadecimal chunk size (no sign, no prefix).
+func parseHexUint(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 16 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		var d uint64
+		switch {
+		case '0' <= c && c <= '9':
+			d = uint64(c - '0')
+		case 'a' <= c && c <= 'f':
+			d = uint64(c-'a') + 10
+		case 'A' <= c && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n<<4 | d
+	}
+	if n > 1<<62 {
+		return 0, false
+	}
+	return int64(n), true
 }
 
 func (cr *ChunkedReader) beginChunk() error {
@@ -112,11 +174,11 @@ func (cr *ChunkedReader) beginChunk() error {
 		return err
 	}
 	// Ignore chunk extensions.
-	if i := indexByte(line, ';'); i >= 0 {
+	if i := bytes.IndexByte(line, ';'); i >= 0 {
 		line = line[:i]
 	}
-	n, err := strconv.ParseInt(line, 16, 64)
-	if err != nil || n < 0 {
+	n, ok := parseHexUint(line)
+	if !ok {
 		return fmt.Errorf("http1: malformed chunk header %q", line)
 	}
 	if n == 0 {
@@ -126,7 +188,7 @@ func (cr *ChunkedReader) beginChunk() error {
 		if err != nil {
 			return err
 		}
-		if tl != "" {
+		if len(tl) != 0 {
 			return fmt.Errorf("http1: unsupported chunk trailer %q", tl)
 		}
 		cr.done = true
@@ -184,21 +246,12 @@ func (cr *ChunkedReader) Read(p []byte) (int, error) {
 				cr.err = err
 			}
 			return n, err
-		} else if line != "" {
+		} else if len(line) != 0 {
 			cr.err = fmt.Errorf("http1: chunk not terminated by CRLF, got %q", line)
 			return n, cr.err
 		}
 	}
 	return n, nil
-}
-
-func indexByte(s string, c byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == c {
-			return i
-		}
-	}
-	return -1
 }
 
 // readLine reads a CRLF- (or bare-LF-) terminated line, without the

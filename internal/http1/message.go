@@ -2,12 +2,13 @@ package http1
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+
+	"zdr/internal/bufpool"
 )
 
 // StatusPartialPostReplay is the non-standard status code the app server
@@ -260,14 +261,62 @@ func orDefault(s, d string) string {
 
 // ReadFullBody consumes and returns the entire body of a parsed message.
 func ReadFullBody(body io.Reader) ([]byte, error) {
+	return ReadFullBodySized(body, 0)
+}
+
+// ReadFullBodySized is ReadFullBody with a size hint (a Content-Length, or
+// <= 0 when unknown). It is the PPR capture path (§5.2): the proxy buffers
+// a partially processed body handed back by a restarting app server, so it
+// runs once per replayed request. Reads go through a pooled scratch buffer
+// and the result is sized from the hint, avoiding bytes.Buffer's repeated
+// grow-and-copy; the preallocation from an untrusted hint is capped so a
+// lying peer can't make us reserve arbitrary memory.
+func ReadFullBodySized(body io.Reader, sizeHint int64) ([]byte, error) {
 	if body == nil {
 		return nil, nil
 	}
-	var buf bytes.Buffer
-	if _, err := io.Copy(&buf, body); err != nil && err != io.EOF {
-		return nil, err
+	const maxPrealloc = 1 << 20
+	hint := sizeHint
+	if hint > maxPrealloc {
+		hint = maxPrealloc
 	}
-	return buf.Bytes(), nil
+	var out []byte
+	if hint > 0 {
+		out = make([]byte, 0, hint)
+	}
+	var p *[]byte
+	defer func() { bufpool.Put(p) }()
+	for {
+		// While the result has spare capacity, read straight into it —
+		// with an accurate hint the whole body lands in one allocation
+		// with no intermediate copy.
+		if len(out) < cap(out) {
+			n, err := body.Read(out[len(out):cap(out)])
+			out = out[:len(out)+n]
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// No capacity left (no/low hint, or the peer sent more than
+		// declared): stage through a pooled scratch buffer and append.
+		if p == nil {
+			p = bufpool.Get(bufpool.TierXLarge)
+		}
+		n, err := body.Read(*p)
+		if n > 0 {
+			out = append(out, (*p)[:n]...)
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 }
 
 // IsPartialPostReplay reports whether resp is a genuine PPR hand-back:

@@ -1,0 +1,60 @@
+package katran
+
+import (
+	"fmt"
+	"testing"
+)
+
+// newBenchLB builds an LB with 64 healthy backends, the fleet size the
+// Fig. 2d experiments model.
+func newBenchLB(b *testing.B, cacheSize int) *LB {
+	b.Helper()
+	lb := New("bench", Config{FlowCacheSize: cacheSize}, nil)
+	for i := 0; i < 64; i++ {
+		lb.AddBackend(Backend{Name: fmt.Sprintf("p%02d", i), Addr: "x"}, true)
+	}
+	b.Cleanup(lb.Close)
+	return lb
+}
+
+// BenchmarkForward is the per-packet steering hot path under parallel
+// load: every goroutine steers flows that are already resident in the
+// §5.1 connection-table cache, the common case for established traffic.
+// Run with -cpu 4 to expose lock contention.
+func BenchmarkForward(b *testing.B) {
+	const flows = 8192
+	lb := newBenchLB(b, 1<<16)
+	for f := uint64(0); f < flows; f++ {
+		if _, err := lb.Steer(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		f := uint64(0)
+		for pb.Next() {
+			if _, err := lb.Steer(f % flows); err != nil {
+				b.Fatal(err)
+			}
+			f += 0x9e3779b97f4a7c15 % flows
+		}
+	})
+}
+
+// BenchmarkForwardNoCache is the table-pick path: no connection cache, so
+// every packet consults the Maglev table (lock-free after sharding).
+func BenchmarkForwardNoCache(b *testing.B) {
+	lb := newBenchLB(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		f := uint64(0)
+		for pb.Next() {
+			if _, err := lb.Steer(f); err != nil {
+				b.Fatal(err)
+			}
+			f += 0x9e3779b97f4a7c15
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package katran
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // FlowCache is the §5.1 remediation: "we recommend adopting a connection
 // table cache for the most recent flows. In Facebook we employ a Least
@@ -9,7 +12,8 @@ import "container/list"
 // to the same end server."
 //
 // It maps flow hashes to backend names with LRU eviction. Not safe for
-// concurrent use; the LB serializes access under its own lock.
+// concurrent use; ShardedFlowCache partitions flows over many FlowCaches,
+// each serialized under its own shard lock.
 type FlowCache struct {
 	capacity int
 	order    *list.List // front = most recent; values are *flowEntry
@@ -71,3 +75,106 @@ func (c *FlowCache) Delete(flow uint64) {
 
 // Len returns the number of cached flows.
 func (c *FlowCache) Len() int { return c.order.Len() }
+
+// ShardedFlowCache partitions a FlowCache over a power-of-two number of
+// shards so concurrent packets on different flows do not serialize on one
+// lock. Each shard is an independent LRU over its slice of the flow-hash
+// space: eviction is per shard, which preserves the §5.1 semantics (the
+// cache only has to absorb *momentary* shuffles, so approximate global
+// LRU is fine) while letting the steering hot path scale with cores.
+type ShardedFlowCache struct {
+	mask   uint64
+	shards []flowShard
+}
+
+type flowShard struct {
+	mu  sync.Mutex
+	lru *FlowCache
+	// Pad each shard to its own cache line so shard locks on adjacent
+	// array slots do not false-share.
+	_ [40]byte
+}
+
+// DefaultFlowCacheShards is the shard count used when the caller passes
+// shards <= 0. 16 comfortably covers the core counts this repo targets
+// while keeping per-shard LRUs large enough to be useful.
+const DefaultFlowCacheShards = 16
+
+// NewShardedFlowCache creates a cache holding up to capacity flows total,
+// split over shards (rounded up to a power of two; <= 0 selects
+// DefaultFlowCacheShards). Each shard holds ceil(capacity/shards) flows.
+func NewShardedFlowCache(capacity, shards int) *ShardedFlowCache {
+	if shards <= 0 {
+		shards = DefaultFlowCacheShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	perShard := (capacity + n - 1) / n
+	c := &ShardedFlowCache{mask: uint64(n - 1), shards: make([]flowShard, n)}
+	for i := range c.shards {
+		c.shards[i].lru = NewFlowCache(perShard)
+	}
+	return c
+}
+
+// shardMix is the splitmix64 finalizer: shard choice must not correlate
+// with low flow-hash bits (sequential connection IDs would otherwise pile
+// onto a few shards).
+func shardMix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+func (c *ShardedFlowCache) shard(flow uint64) *flowShard {
+	return &c.shards[shardMix(flow)&c.mask]
+}
+
+// Shards returns the shard count.
+func (c *ShardedFlowCache) Shards() int { return len(c.shards) }
+
+// Get returns the cached backend for flow, marking it most recently used
+// within its shard.
+func (c *ShardedFlowCache) Get(flow uint64) (string, bool) {
+	s := c.shard(flow)
+	s.mu.Lock()
+	name, ok := s.lru.Get(flow)
+	s.mu.Unlock()
+	return name, ok
+}
+
+// Put records flow → backend, evicting its shard's least recently used
+// entry if that shard is full.
+func (c *ShardedFlowCache) Put(flow uint64, backend string) {
+	s := c.shard(flow)
+	s.mu.Lock()
+	s.lru.Put(flow, backend)
+	s.mu.Unlock()
+}
+
+// Delete removes flow from the cache.
+func (c *ShardedFlowCache) Delete(flow uint64) {
+	s := c.shard(flow)
+	s.mu.Lock()
+	s.lru.Delete(flow)
+	s.mu.Unlock()
+}
+
+// Len returns the number of cached flows across all shards.
+func (c *ShardedFlowCache) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return total
+}

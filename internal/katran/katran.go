@@ -19,6 +19,13 @@
 // Steering is exposed as a function from flow hash to backend address;
 // integration tests and the cluster simulator drive their connection
 // placement through it.
+//
+// Concurrency model (DESIGN.md §8): steering is the per-packet hot path,
+// so Steer never takes the control-plane lock. The routing table (Maglev
+// table + healthy-backend set) is an immutable snapshot published through
+// an atomic pointer; rebuilds construct a fresh snapshot under lb.mu and
+// swap it in. The flow cache is sharded with per-shard locks so concurrent
+// flows rarely contend.
 package katran
 
 import (
@@ -28,6 +35,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zdr/internal/consistent"
@@ -65,6 +73,9 @@ type Config struct {
 	ProbeTimeout time.Duration
 	// FlowCacheSize enables the §5.1 LRU connection-table cache when > 0.
 	FlowCacheSize int
+	// FlowCacheShards splits the flow cache into this many lock shards
+	// (rounded up to a power of two; 0 = DefaultFlowCacheShards).
+	FlowCacheShards int
 	// MaglevSize overrides the lookup table size (0 = default).
 	MaglevSize int
 	// Probe overrides the prober (default ProbeHC).
@@ -86,16 +97,34 @@ func (c *Config) fill() {
 	}
 }
 
+// routeTable is one immutable routing snapshot: a Maglev table over the
+// healthy backends plus the backend records for result lookup. Once
+// published via LB.route it is never mutated — rebuilds allocate a fresh
+// one (consistent.Maglev.Rebuild mutates in place, so sharing one Maglev
+// across snapshots would race with lock-free readers).
+type routeTable struct {
+	maglev  *consistent.Maglev
+	healthy map[string]Backend
+}
+
 // LB is one Katran instance steering a single VIP.
 type LB struct {
 	name string
 	cfg  Config
 	reg  *metrics.Registry
 
-	mu       sync.Mutex
+	// Hot-path counters, resolved once: Registry.Counter takes the
+	// registry mutex per lookup, which would serialize Steer again.
+	cCacheHit  *metrics.Counter
+	cTablePick *metrics.Counter
+
+	// route is the current routing snapshot; Steer loads it lock-free.
+	route atomic.Pointer[routeTable]
+
+	mu       sync.Mutex // control plane: guards backends + snapshot publication
 	backends map[string]*backendState
-	maglev   *consistent.Maglev
-	cache    *FlowCache
+
+	cache *ShardedFlowCache
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -109,15 +138,20 @@ func New(name string, cfg Config, reg *metrics.Registry) *LB {
 		reg = metrics.NewRegistry()
 	}
 	lb := &LB{
-		name:     name,
-		cfg:      cfg,
-		reg:      reg,
-		backends: make(map[string]*backendState),
-		maglev:   consistent.NewMaglev(cfg.MaglevSize),
-		stop:     make(chan struct{}),
+		name:       name,
+		cfg:        cfg,
+		reg:        reg,
+		cCacheHit:  reg.Counter("katran.steer.cache_hit"),
+		cTablePick: reg.Counter("katran.steer.table_pick"),
+		backends:   make(map[string]*backendState),
+		stop:       make(chan struct{}),
 	}
+	lb.route.Store(&routeTable{
+		maglev:  consistent.NewMaglev(cfg.MaglevSize),
+		healthy: map[string]Backend{},
+	})
 	if cfg.FlowCacheSize > 0 {
-		lb.cache = NewFlowCache(cfg.FlowCacheSize)
+		lb.cache = NewShardedFlowCache(cfg.FlowCacheSize, cfg.FlowCacheShards)
 	}
 	return lb
 }
@@ -164,24 +198,29 @@ func (lb *LB) transitionLocked(bs *backendState) {
 	lb.rebuildLocked()
 }
 
+// rebuildLocked publishes a fresh routing snapshot from the current
+// backend health. Callers hold lb.mu, which serializes publications.
 func (lb *LB) rebuildLocked() {
-	healthy := make([]string, 0, len(lb.backends))
+	names := make([]string, 0, len(lb.backends))
+	healthy := make(map[string]Backend, len(lb.backends))
 	for _, bs := range lb.backends {
 		if bs.healthy {
-			healthy = append(healthy, bs.Name)
+			names = append(names, bs.Name)
+			healthy[bs.Name] = bs.Backend
 		}
 	}
-	sort.Strings(healthy)
-	lb.maglev.Rebuild(healthy)
+	sort.Strings(names)
+	lb.route.Store(&routeTable{
+		maglev:  consistent.NewMaglev(lb.cfg.MaglevSize, names...),
+		healthy: healthy,
+	})
 	lb.reg.Counter("katran.table.rebuilds").Inc()
-	lb.reg.Gauge("katran.backends.healthy").Set(int64(len(healthy)))
+	lb.reg.Gauge("katran.backends.healthy").Set(int64(len(names)))
 }
 
 // HealthyBackends returns the names of healthy backends, sorted.
 func (lb *LB) HealthyBackends() []string {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	return lb.maglev.Members()
+	return lb.route.Load().maglev.Members()
 }
 
 // ErrNoBackends is returned by Steer when every backend is out.
@@ -190,28 +229,31 @@ var ErrNoBackends = errors.New("katran: no healthy backends")
 // Steer picks the backend for a flow hash: the LRU connection table first
 // (if enabled and the cached backend is still healthy), then Maglev. The
 // result is cached so the flow sticks.
+//
+// Steer is lock-free on the routing table (it reads the current snapshot)
+// and touches at most one flow-cache shard, so concurrent steering scales
+// across cores.
 func (lb *LB) Steer(flow uint64) (Backend, error) {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
+	rt := lb.route.Load()
 	if lb.cache != nil {
 		if name, ok := lb.cache.Get(flow); ok {
-			if bs, live := lb.backends[name]; live && bs.healthy {
-				lb.reg.Counter("katran.steer.cache_hit").Inc()
-				return bs.Backend, nil
+			if b, live := rt.healthy[name]; live {
+				lb.cCacheHit.Inc()
+				return b, nil
 			}
 			// Cached backend gone: fall through to a fresh pick.
 			lb.cache.Delete(flow)
 		}
 	}
-	name := lb.maglev.PickUint(flow)
+	name := rt.maglev.PickUint(flow)
 	if name == "" {
 		return Backend{}, ErrNoBackends
 	}
-	lb.reg.Counter("katran.steer.table_pick").Inc()
+	lb.cTablePick.Inc()
 	if lb.cache != nil {
 		lb.cache.Put(flow, name)
 	}
-	return lb.backends[name].Backend, nil
+	return rt.healthy[name], nil
 }
 
 // SteerAddr is Steer returning just the address.

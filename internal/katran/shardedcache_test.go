@@ -1,0 +1,147 @@
+package katran
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedFlowCacheConcurrent hammers Get/Put/Delete from many
+// goroutines; run under -race this pins the per-shard locking.
+func TestShardedFlowCacheConcurrent(t *testing.T) {
+	c := NewShardedFlowCache(4096, 8)
+	const (
+		workers = 8
+		ops     = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				flow := uint64(w*ops + i)
+				c.Put(flow, "backend")
+				if name, ok := c.Get(flow); ok && name != "backend" {
+					t.Errorf("flow %d: got %q", flow, name)
+					return
+				}
+				if i%3 == 0 {
+					c.Delete(flow)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 4096 {
+		t.Fatalf("cache over capacity: %d", c.Len())
+	}
+}
+
+// TestShardedFlowCacheEviction checks that each shard evicts its own
+// least-recently-used entry: a recently touched flow survives a flood of
+// new flows into the same shard, while the shard's oldest flow does not.
+func TestShardedFlowCacheEviction(t *testing.T) {
+	// 2 shards × 4 entries each.
+	c := NewShardedFlowCache(8, 2)
+	if c.Shards() != 2 {
+		t.Fatalf("shards = %d, want 2", c.Shards())
+	}
+	// Collect flows that land on shard 0 so eviction pressure is confined
+	// to one shard.
+	var flows []uint64
+	for f := uint64(0); len(flows) < 6; f++ {
+		if shardMix(f)&c.mask == 0 {
+			flows = append(flows, f)
+		}
+	}
+	// Fill the shard: flows[0..3]. flows[0] is oldest.
+	for i := 0; i < 4; i++ {
+		c.Put(flows[i], fmt.Sprintf("b%d", i))
+	}
+	// Touch flows[0] so flows[1] becomes the shard's LRU victim.
+	if _, ok := c.Get(flows[0]); !ok {
+		t.Fatal("flows[0] missing before eviction")
+	}
+	// Two more inserts evict flows[1] then flows[2].
+	c.Put(flows[4], "b4")
+	c.Put(flows[5], "b5")
+	if _, ok := c.Get(flows[0]); !ok {
+		t.Error("recently used flows[0] was evicted")
+	}
+	if _, ok := c.Get(flows[1]); ok {
+		t.Error("LRU victim flows[1] survived")
+	}
+	if _, ok := c.Get(flows[2]); ok {
+		t.Error("LRU victim flows[2] survived")
+	}
+}
+
+// TestSteerConsistencyAcrossTakeover is the §5.1 property under the new
+// lock-free data plane: while backends flap health (as they do during a
+// rolling release) and steering runs concurrently, a flow that was cached
+// on a still-healthy backend keeps landing on that backend.
+func TestSteerConsistencyAcrossTakeover(t *testing.T) {
+	lb := New("test", Config{FlowCacheSize: 4096, FlowCacheShards: 8}, nil)
+	defer lb.Close()
+	const backends = 8
+	for i := 0; i < backends; i++ {
+		lb.AddBackend(Backend{
+			Name: fmt.Sprintf("proxy-%d", i),
+			Addr: fmt.Sprintf("10.0.0.%d:443", i),
+		}, true)
+	}
+	// "victim" restarts during the run; every flow pinned elsewhere must
+	// never move.
+	const victim = "proxy-0"
+	const flowCount = 512
+	pinned := make(map[uint64]string, flowCount)
+	for f := uint64(0); f < flowCount; f++ {
+		b, err := lb.Steer(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name != victim {
+			pinned[f] = b.Name
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				for f := uint64(0); f < flowCount; f++ {
+					b, err := lb.Steer(f)
+					if err != nil {
+						continue
+					}
+					if want, ok := pinned[f]; ok && b.Name != want {
+						select {
+						case errs <- fmt.Sprintf("flow %d moved %s → %s", f, want, b.Name):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	// The release: victim drains, restarts, comes back — repeatedly, so
+	// the table shuffles while steering is in flight.
+	for i := 0; i < 50; i++ {
+		lb.SetHealth(victim, false)
+		lb.SetHealth(victim, true)
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}

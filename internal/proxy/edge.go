@@ -5,12 +5,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"strconv"
 	"sync"
 	"time"
 
+	"zdr/internal/bufpool"
 	"zdr/internal/h2t"
 	"zdr/internal/http1"
 	"zdr/internal/mqtt"
@@ -179,7 +179,7 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 	if req.Body != nil {
 		done := make(chan error, 1)
 		go func() {
-			_, err := io.Copy(st, req.Body)
+			_, err := bufpool.Copy(st, req.Body)
 			if err == nil {
 				err = st.CloseWrite()
 			}
@@ -337,7 +337,9 @@ func (p *Proxy) handleEdgeMQTTConn(conn net.Conn) {
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
-		buf := make([]byte, 32<<10)
+		bp := bufpool.Get(32 << 10)
+		defer bufpool.Put(bp)
+		buf := *bp
 		for {
 			n, err := conn.Read(buf)
 			if n > 0 {
@@ -392,22 +394,34 @@ func (p *Proxy) runMQTTDownstream(relay *mqttRelay) {
 // one stream generation. It returns true when the relay was spliced onto a
 // new stream (caller re-arms), false when the relay is finished.
 func (p *Proxy) pumpUntilSwap(relay *mqttRelay, st *h2t.Stream) bool {
-	dataCh := make(chan []byte)
+	// Chunks carry pooled buffers across the channel: ownership transfers
+	// to the receiving select arm, which must Put after the client write.
+	type chunk struct {
+		buf *[]byte
+		n   int
+	}
+	dataCh := make(chan chunk)
 	errCh := make(chan error, 1)
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
 		for {
-			buf := make([]byte, 8<<10)
-			n, err := st.Read(buf)
+			buf := bufpool.Get(8 << 10)
+			n, err := st.Read(*buf)
 			if n > 0 {
 				select {
-				case dataCh <- buf[:n]:
+				case dataCh <- chunk{buf, n}:
+					buf = nil // owned by the consumer now
 				case <-done:
+					bufpool.Put(buf)
 					return
 				}
+			} else {
+				bufpool.Put(buf)
+				buf = nil
 			}
 			if err != nil {
+				bufpool.Put(buf)
 				select {
 				case errCh <- err:
 				case <-done:
@@ -418,8 +432,10 @@ func (p *Proxy) pumpUntilSwap(relay *mqttRelay, st *h2t.Stream) bool {
 	}()
 	for {
 		select {
-		case b := <-dataCh:
-			if _, err := relay.clientConn.Write(b); err != nil {
+		case c := <-dataCh:
+			_, err := relay.clientConn.Write((*c.buf)[:c.n])
+			bufpool.Put(c.buf)
+			if err != nil {
 				return false
 			}
 		case <-errCh:

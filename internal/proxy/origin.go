@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"zdr/internal/bufpool"
 	"zdr/internal/h2t"
 	"zdr/internal/http1"
 	"zdr/internal/mqtt"
@@ -228,13 +229,16 @@ func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID, trace strin
 	}()
 
 	// Bidirectional byte relay; returns when either side closes.
+	// Both directions are wrapped to plain io.Writer so the pooled copy
+	// buffer is actually used (a bare *net.TCPConn dst would divert
+	// io.CopyBuffer into ReadFrom, which allocates its own scratch).
 	errCh := make(chan error, 2)
 	go func() {
-		_, err := io.Copy(bconn, st)
+		_, err := bufpool.Copy(struct{ io.Writer }{bconn}, st)
 		errCh <- err
 	}()
 	go func() {
-		_, err := io.Copy(struct{ io.Writer }{st}, bconn)
+		_, err := bufpool.Copy(struct{ io.Writer }{st}, bconn)
 		errCh <- err
 	}()
 	<-errCh
@@ -310,7 +314,7 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 			// §4.3: collect the partial body; 379 must never reach the
 			// user. Replay to another server with the returned prefix
 			// plus whatever the client is still sending.
-			partial, err := http1.ReadFullBody(resp.Body)
+			partial, err := http1.ReadFullBodySized(resp.Body, resp.ContentLength)
 			conn.Close()
 			attSp.SetAttr("result", "379")
 			attSp.End()
@@ -437,7 +441,9 @@ func (p *Proxy) attemptAppServer(addr, method, path string, cl int64, replay []b
 			return fail(fmt.Errorf("proxy: writing replay prefix: %w", err))
 		}
 		if rest != nil {
-			buf := make([]byte, 8<<10)
+			bp := bufpool.Get(8 << 10)
+			defer bufpool.Put(bp)
+			buf := *bp
 			for {
 				if rr := earlyResp(); rr != nil {
 					// Early response (379 or error) — stop forwarding.
@@ -535,7 +541,7 @@ func (p *Proxy) relayResponse(st *h2t.Stream, resp *http1.Response) {
 		return
 	}
 	if resp.Body != nil {
-		if _, err := io.Copy(struct{ io.Writer }{st}, resp.Body); err != nil {
+		if _, err := bufpool.Copy(struct{ io.Writer }{st}, resp.Body); err != nil {
 			st.Reset()
 			return
 		}

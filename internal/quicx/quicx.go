@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"zdr/internal/bufpool"
 	"zdr/internal/metrics"
 )
 
@@ -64,13 +65,18 @@ type Packet struct {
 	Payload []byte
 }
 
-// Marshal serializes p.
+// Marshal serializes p into a fresh buffer.
 func Marshal(p Packet) []byte {
-	buf := make([]byte, headerLen+len(p.Payload))
-	buf[0] = byte(p.Type)
-	binary.BigEndian.PutUint64(buf[1:9], uint64(p.Conn))
-	copy(buf[headerLen:], p.Payload)
-	return buf
+	return AppendPacket(make([]byte, 0, headerLen+len(p.Payload)), p)
+}
+
+// AppendPacket serializes p onto dst and returns the extended slice. With
+// a dst of sufficient capacity (headerLen + len(p.Payload)) it does not
+// allocate — the server's reply path appends into a pooled buffer.
+func AppendPacket(dst []byte, p Packet) []byte {
+	dst = append(dst, byte(p.Type))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Conn))
+	return append(dst, p.Payload...)
 }
 
 // Unmarshal parses a datagram.
@@ -88,12 +94,15 @@ func Unmarshal(b []byte) (Packet, error) {
 // wrapForwarded encapsulates raw with the original client address.
 func wrapForwarded(raw []byte, from net.Addr) []byte {
 	addr := from.String()
-	buf := make([]byte, 1+2+len(addr)+len(raw))
-	buf[0] = byte(pktForwarded)
-	binary.BigEndian.PutUint16(buf[1:3], uint16(len(addr)))
-	copy(buf[3:], addr)
-	copy(buf[3+len(addr):], raw)
-	return buf
+	return appendForwarded(make([]byte, 0, 3+len(addr)+len(raw)), raw, addr)
+}
+
+// appendForwarded is wrapForwarded onto dst (no allocation given capacity).
+func appendForwarded(dst, raw []byte, addr string) []byte {
+	dst = append(dst, byte(pktForwarded))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(addr)))
+	dst = append(dst, addr...)
+	return append(dst, raw...)
 }
 
 // unwrapForwarded reverses wrapForwarded.
@@ -113,6 +122,10 @@ func unwrapForwarded(b []byte) (raw []byte, from *net.UDPAddr, err error) {
 }
 
 // Handler processes a flow packet and returns an optional reply payload.
+// The payload slice aliases the server's receive buffer and is valid only
+// for the duration of the call: a handler that retains bytes past its
+// return must copy them. (Returning payload, or a slice of it, as the
+// reply is fine — the reply is marshalled before the buffer is reused.)
 type Handler func(conn ConnID, payload []byte) (reply []byte)
 
 // Server is a connection-ID-routed UDP server. One Server represents one
@@ -290,10 +303,12 @@ func (s *Server) readLoop(conn net.PacketConn, forwarded bool) {
 			}
 			return
 		}
-		raw := make([]byte, n)
-		copy(raw, buf[:n])
+		// handlePacket is synchronous and everything downstream (handler,
+		// reply marshal, forward encapsulation) finishes with the bytes
+		// before it returns, so the datagram is processed in place — no
+		// per-packet copy.
 		if forwarded {
-			inner, origFrom, err := unwrapForwarded(raw)
+			inner, origFrom, err := unwrapForwarded(buf[:n])
 			if err != nil {
 				s.reg.Counter("quicx.forward.bad").Inc()
 				continue
@@ -301,7 +316,7 @@ func (s *Server) readLoop(conn net.PacketConn, forwarded bool) {
 			s.handlePacket(inner, origFrom)
 			continue
 		}
-		s.handlePacket(raw, from)
+		s.handlePacket(buf[:n], from)
 	}
 }
 
@@ -341,7 +356,12 @@ func (s *Server) handlePacket(raw []byte, from net.Addr) {
 			if fwdTo != nil {
 				// User-space routing (§4.1): tunnel to the draining
 				// instance, preserving the client address.
-				if _, err := s.main.WriteTo(wrapForwarded(raw, from), fwdTo); err == nil {
+				addr := from.String()
+				bp := bufpool.Get(3 + len(addr) + len(raw))
+				fw := appendForwarded((*bp)[:0], raw, addr)
+				_, err := s.main.WriteTo(fw, fwdTo)
+				bufpool.Put(bp)
+				if err == nil {
 					s.reg.Counter("quicx.forwarded").Inc()
 					return
 				}
@@ -375,7 +395,11 @@ func (s *Server) reply(conn ConnID, to net.Addr, payload []byte) {
 	if payload == nil {
 		return
 	}
-	if _, err := s.main.WriteTo(Marshal(Packet{Type: PktData, Conn: conn, Payload: payload}), to); err == nil {
+	bp := bufpool.Get(headerLen + len(payload))
+	pkt := AppendPacket((*bp)[:0], Packet{Type: PktData, Conn: conn, Payload: payload})
+	_, err := s.main.WriteTo(pkt, to)
+	bufpool.Put(bp)
+	if err == nil {
 		s.reg.Counter("quicx.tx").Inc()
 	}
 }
@@ -425,17 +449,21 @@ func (c *Client) roundTrip(t PacketType, payload []byte, timeout time.Duration) 
 		return nil, err
 	}
 	c.conn.SetReadDeadline(time.Now().Add(timeout))
-	buf := make([]byte, maxDatagram)
-	n, err := c.conn.Read(buf)
+	bp := bufpool.Get(maxDatagram)
+	defer bufpool.Put(bp)
+	n, err := c.conn.Read(*bp)
 	if err != nil {
 		return nil, err
 	}
-	p, err := Unmarshal(buf[:n])
+	p, err := Unmarshal((*bp)[:n])
 	if err != nil {
 		return nil, err
 	}
 	if p.Conn != c.id {
 		return nil, fmt.Errorf("quicx: reply for conn %d, want %d", p.Conn, c.id)
 	}
-	return p.Payload, nil
+	// The payload aliases the pooled buffer: copy before returning it.
+	out := make([]byte, len(p.Payload))
+	copy(out, p.Payload)
+	return out, nil
 }
