@@ -211,8 +211,8 @@ func BenchmarkAblationTakeoverVsReconnect(b *testing.B) {
 				b.Fatal(err)
 			}
 			done := make(chan error, 1)
-			go func() { _, err := takeover.Handoff(x, set, 0); done <- err }()
-			got, _, err := takeover.Receive(y, 0)
+			go func() { _, err := takeover.Handoff(x, set, takeover.HandoffOptions{}); done <- err }()
+			got, _, err := takeover.Receive(y, takeover.ReceiveOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}

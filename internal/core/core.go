@@ -42,21 +42,33 @@ import (
 // succeeds. Test with errors.Is.
 var ErrTakeoverNotArmed = errors.New("core: new generation serving but takeover server not armed")
 
+// RestartOptions configures a single Restart call. The zero value is an
+// untraced restart; construct non-default calls with RestartOption values
+// (WithTrace, ...).
+type RestartOptions struct {
+	// Trace, when non-nil, is the parent span under which the restart
+	// records its "slot.restart" tree (with a "slot.drain" child covering
+	// the old generation's retirement).
+	Trace *obs.Span
+}
+
+// RestartOption mutates RestartOptions. Options are applied in order.
+type RestartOption func(*RestartOptions)
+
+// WithTrace records the restart as a span tree under parent. Run passes
+// it automatically when Plan.Trace is set.
+func WithTrace(parent *obs.Span) RestartOption {
+	return func(o *RestartOptions) { o.Trace = parent }
+}
+
 // Restartable is one release target.
 type Restartable interface {
 	// Name identifies the instance.
 	Name() string
 	// Restart replaces the running generation with a new one, returning
-	// once the new generation is serving.
-	Restart() error
-}
-
-// TracedRestartable is a release target that can record its restart as a
-// span tree under a parent release span. Run uses it automatically when
-// Plan.Trace is set.
-type TracedRestartable interface {
-	Restartable
-	RestartTraced(parent *obs.Span) error
+	// once the new generation is serving. Options modify a single call;
+	// no options means an untraced default restart.
+	Restart(opts ...RestartOption) error
 }
 
 // DrainWaiter is a release target whose restarts leave background drains
@@ -84,18 +96,22 @@ type ProxySlot struct {
 	// package defaults (20ms base, doubling, 500ms cap, 10 attempts).
 	RearmBackoff faults.Backoff
 	// AbortRetries is how many times Restart rebuilds a fresh generation
-	// and retries after a pre-commit abort (takeover.ErrAborted). Aborts
-	// are the benign arm of the failure lattice: the old generation never
-	// stopped accepting, so a retry risks nothing. Zero means the default
-	// of 1 retry; negative disables retries. Post-commit failures are
-	// never retried here — they surface to the caller, whose remediation
-	// is RestartFresh (§5.1 rebind).
+	// and retries after a survivable hand-off failure: a pre-commit abort
+	// (takeover.ErrAborted) or a post-commit undo (takeover.ErrUndone).
+	// Both are the benign arm of the failure lattice — after an abort the
+	// old generation never stopped accepting, and after an undo it
+	// re-armed its listeners from the retained FDs and kept serving — so
+	// a retry risks nothing. Zero means the default of 1 retry; negative
+	// disables retries. Only non-survivable post-commit failures (the
+	// sender itself died holding the sockets) surface to the caller,
+	// whose last-resort remediation is RestartFresh (§5.1 rebind).
 	AbortRetries int
 
 	mu      sync.Mutex
 	cur     *proxy.Proxy
 	gen     int
-	armErr  error // last takeover-server arming failure (nil = armed)
+	phase   string // restart state machine position ("" = steady state)
+	armErr  error  // last takeover-server arming failure (nil = armed)
 	drainWG sync.WaitGroup
 }
 
@@ -139,18 +155,36 @@ func (s *ProxySlot) Name() string { return s.SlotName }
 // Restart performs a Zero Downtime Restart: the new generation takes the
 // sockets over; the old generation drains (GOAWAY + DCR solicitations
 // happen inside proxy.StartDraining) and terminates in the background.
-func (s *ProxySlot) Restart() error { return s.restart(nil) }
-
-// RestartTraced is Restart recorded as a "slot.restart" span (with a
-// "slot.drain" child covering the old generation's retirement) under
-// parent. Implements TracedRestartable.
-func (s *ProxySlot) RestartTraced(parent *obs.Span) error {
-	sp := parent.StartChild("slot.restart")
+// With WithTrace, the restart is recorded as a "slot.restart" span (with
+// a "slot.drain" child covering the old generation's retirement).
+func (s *ProxySlot) Restart(opts ...RestartOption) error {
+	var o RestartOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.Trace == nil {
+		return s.restart(nil)
+	}
+	sp := o.Trace.StartChild(obs.SpanSlotRestart)
 	sp.SetAttr("slot", s.SlotName)
 	defer sp.End()
 	err := s.restart(sp)
 	sp.Fail(err)
 	return err
+}
+
+// Deprecated: RestartTraced is a legacy wrapper; use
+// Restart(WithTrace(parent)).
+func (s *ProxySlot) RestartTraced(parent *obs.Span) error {
+	return s.Restart(WithTrace(parent))
+}
+
+// setPhase publishes the slot's restart state machine position for
+// State() (""/steady, "handing-off", "committed-awaiting-ready").
+func (s *ProxySlot) setPhase(phase string) {
+	s.mu.Lock()
+	s.phase = phase
+	s.mu.Unlock()
 }
 
 func (s *ProxySlot) restart(sp *obs.Span) error {
@@ -170,31 +204,43 @@ func (s *ProxySlot) restart(sp *obs.Span) error {
 	var next *proxy.Proxy
 	for attempt := 0; ; attempt++ {
 		next = s.Build()
-		_, err := next.TakeoverFromTraced(s.Path, sp)
+		s.setPhase("handing-off")
+		_, err := next.TakeoverFromWith(s.Path, proxy.TakeoverOptions{
+			Trace:       sp,
+			OnCommitted: func() { s.setPhase("committed-awaiting-ready") },
+		})
 		if err == nil {
 			break
 		}
+		s.setPhase("")
 		// The failed generation is discarded either way; a retried
 		// attempt needs a fresh Build (Adopt refuses reuse).
 		next.Close()
-		if !errors.Is(err, takeover.ErrAborted) {
+		undone := errors.Is(err, takeover.ErrUndone)
+		if !undone && !errors.Is(err, takeover.ErrAborted) {
 			// Protocol/config failures (bad magic, rejected manifest,
 			// dial exhaustion): the old generation keeps serving, but a
 			// blind retry would fail identically.
 			return fmt.Errorf("core: takeover failed, old generation keeps serving: %w", err)
 		}
 		if attempt >= retries {
+			if undone {
+				return fmt.Errorf("core: hand-off undone after commit %d time(s), old generation re-armed and keeps serving: %w", attempt+1, err)
+			}
 			return fmt.Errorf("core: takeover aborted before commit %d time(s), old generation keeps serving: %w", attempt+1, err)
 		}
 		// Pre-commit abort: the hand-off died before the old generation
-		// stopped accepting, so no client saw anything. Retry with a
-		// fresh receiver.
+		// stopped accepting, so no client saw anything. Post-commit undo:
+		// the new generation stepped down and the old one re-armed its
+		// listeners from the retained FDs, so again no client saw
+		// anything. Either way a retry with a fresh receiver is safe.
 		sp.SetAttr("abort_retries", strconv.Itoa(attempt+1))
 	}
+	s.setPhase("")
 	// The hand-off flipped the old generation into draining via its
 	// takeover server callback. Retire it in the background and promote
 	// the new generation.
-	drainSp := sp.StartChild("slot.drain")
+	drainSp := sp.StartChild(obs.SpanSlotDrain)
 	drainSp.SetAttr("slot", s.SlotName)
 	s.drainWG.Add(1)
 	go func(old *proxy.Proxy) {
@@ -220,11 +266,12 @@ func (s *ProxySlot) WaitDrains() { s.drainWG.Wait() }
 // State summarises the slot for /debug/release.
 func (s *ProxySlot) State() obs.SlotState {
 	s.mu.Lock()
-	cur, gen, armErr := s.cur, s.gen, s.armErr
+	cur, gen, phase, armErr := s.cur, s.gen, s.phase, s.armErr
 	s.mu.Unlock()
 	st := obs.SlotState{
 		Name:          s.SlotName,
 		Generation:    gen,
+		Phase:         phase,
 		TakeoverArmed: cur != nil && armErr == nil,
 	}
 	if armErr != nil {
@@ -236,7 +283,11 @@ func (s *ProxySlot) State() obs.SlotState {
 		if len(ps.Slots) > 0 {
 			st.Takeovers = ps.Slots[0].Takeovers
 			st.TakeoverAborts = ps.Slots[0].TakeoverAborts
+			st.TakeoverUndos = ps.Slots[0].TakeoverUndos
 			st.Drains = ps.Slots[0].Drains
+			if st.Phase == "" {
+				st.Phase = ps.Slots[0].Phase
+			}
 		}
 	}
 	return st
@@ -307,6 +358,12 @@ func (s *ProxySlot) RearmTakeover() error {
 // TCP service continues; the trade-off is exactly the paper's: UDP VIPs
 // suffer socket-ring flux during a fresh rebind, which is why this path
 // is a rollback/mitigation tool, not the default.
+//
+// With drain-undo (takeover.ProtoDrainUndo) in place this is a LAST
+// resort: a receiver that dies after COMMIT no longer needs it — the old
+// generation re-arms from its retained FDs and Restart retries. The
+// remaining case is the sender itself crashing post-commit while still
+// holding the sockets.
 //
 // build receives the current generation's bound VIP addresses and must
 // return a proxy configured to bind them (Config.VIPAddrs).
@@ -412,18 +469,28 @@ func (s *AppServerSlot) Name() string { return s.SlotName }
 // Restart drains the old generation (handing in-flight POSTs back via
 // PPR), then binds the new generation on the same address. The brief
 // listening gap is what the downstream proxy's retry logic (§4.4) covers.
-func (s *AppServerSlot) Restart() error { return s.restart(nil) }
-
-// RestartTraced is Restart recorded as a "slot.restart" span with a
+// With WithTrace, the restart is recorded as a "slot.restart" span with a
 // "slot.drain" child covering the old generation's synchronous drain.
-// Implements TracedRestartable.
-func (s *AppServerSlot) RestartTraced(parent *obs.Span) error {
-	sp := parent.StartChild("slot.restart")
+func (s *AppServerSlot) Restart(opts ...RestartOption) error {
+	var o RestartOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.Trace == nil {
+		return s.restart(nil)
+	}
+	sp := o.Trace.StartChild(obs.SpanSlotRestart)
 	sp.SetAttr("slot", s.SlotName)
 	defer sp.End()
 	err := s.restart(sp)
 	sp.Fail(err)
 	return err
+}
+
+// Deprecated: RestartTraced is a legacy wrapper; use
+// Restart(WithTrace(parent)).
+func (s *AppServerSlot) RestartTraced(parent *obs.Span) error {
+	return s.Restart(WithTrace(parent))
 }
 
 // State summarises the slot for /debug/release.
@@ -446,7 +513,7 @@ func (s *AppServerSlot) restart(sp *obs.Span) error {
 	if old == nil {
 		return errors.New("core: slot not started")
 	}
-	drainSp := sp.StartChild("slot.drain")
+	drainSp := sp.StartChild(obs.SpanSlotDrain)
 	drainSp.SetAttr("slot", s.SlotName)
 	old.Shutdown()
 	drainSp.End()
@@ -490,7 +557,7 @@ type Plan struct {
 	FailFast bool
 	// Trace, when non-nil, records the release as a span tree: a root
 	// "release" span, one "release.batch" span per batch, and per-target
-	// "slot.restart" trees for targets implementing TracedRestartable.
+	// "slot.restart" trees (Run passes WithTrace to every Restart).
 	// The finished spans are folded into Report.Release.
 	Trace *obs.Tracer
 	// ReportPath, when non-empty, writes the ReleaseReport JSON there
@@ -593,8 +660,8 @@ func Run(plan Plan, targets []Restartable, reg *metrics.Registry) (*Report, erro
 			wg.Add(1)
 			go func(i int, t Restartable) {
 				defer wg.Done()
-				if tr, ok := t.(TracedRestartable); ok && plan.Trace != nil {
-					errs[i] = tr.RestartTraced(bSp)
+				if plan.Trace != nil {
+					errs[i] = t.Restart(WithTrace(bSp))
 					return
 				}
 				errs[i] = t.Restart()

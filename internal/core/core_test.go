@@ -28,7 +28,7 @@ type fakeTarget struct {
 }
 
 func (f *fakeTarget) Name() string { return f.name }
-func (f *fakeTarget) Restart() error {
+func (f *fakeTarget) Restart(opts ...RestartOption) error {
 	f.mu.Lock()
 	f.restarts++
 	f.at = append(f.at, time.Now())

@@ -11,22 +11,30 @@ import (
 	"zdr/internal/obs"
 )
 
-// tracedFake is a scripted TracedRestartable: its restart records a
-// nested work span so report tests see a realistic tree.
+// tracedFake is a scripted Restartable that honours WithTrace: a traced
+// restart records a nested work span so report tests see a realistic
+// tree.
 type tracedFake struct {
 	fakeTarget
 	traced int
 }
 
-func (f *tracedFake) RestartTraced(parent *obs.Span) error {
+func (f *tracedFake) Restart(opts ...RestartOption) error {
+	var o RestartOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.Trace == nil {
+		return f.fakeTarget.Restart()
+	}
 	f.traced++
-	sp := parent.StartChild("slot.restart")
+	sp := o.Trace.StartChild("slot.restart")
 	sp.SetAttr("slot", f.name)
 	defer sp.End()
 	work := sp.StartChild("slot.drain")
 	time.Sleep(f.delay)
 	work.End()
-	err := f.Restart()
+	err := f.fakeTarget.Restart()
 	sp.Fail(err)
 	return err
 }

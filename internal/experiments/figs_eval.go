@@ -472,11 +472,11 @@ func Fig17TakeoverOverhead() (Table, error) {
 		}
 		done := make(chan error, 1)
 		go func() {
-			_, err := takeover.Handoff(a, set, 0)
+			_, err := takeover.Handoff(a, set, takeover.HandoffOptions{})
 			done <- err
 		}()
 		start := time.Now()
-		got, _, err := takeover.Receive(b, 0)
+		got, _, err := takeover.Receive(b, takeover.ReceiveOptions{})
 		if err != nil {
 			return Table{}, err
 		}

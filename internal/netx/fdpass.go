@@ -24,6 +24,7 @@ import (
 	"os"
 	"sync/atomic"
 	"syscall"
+	"unsafe"
 )
 
 // soReusePort is SO_REUSEPORT on Linux. The syscall package does not export
@@ -248,6 +249,45 @@ func PacketConnFromFD(fd int, name string) (*net.UDPConn, error) {
 		return nil, fmt.Errorf("netx: fd %d is a %T, not *net.UDPConn", fd, pc)
 	}
 	return upc, nil
+}
+
+// soCookie is SO_COOKIE on Linux: a getsockopt that returns the kernel's
+// unique, immutable 64-bit identity for the socket. Not exported by the
+// syscall package; the value is part of the kernel ABI and stable.
+const soCookie = 57
+
+// SocketCookie returns the kernel's SO_COOKIE identity for a socket. Two
+// descriptors referring to the same open socket — the original listener
+// and any dup passed over SCM_RIGHTS — report the same cookie, so the
+// takeover tests use it to prove that a re-armed listener (drain-undo) is
+// the very kernel socket the clients were already connecting to, not a
+// fresh bind.
+func SocketCookie(c syscall.Conn) (uint64, error) {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return 0, fmt.Errorf("netx: SyscallConn: %w", err)
+	}
+	var cookie uint64
+	var getErr error
+	if err := rc.Control(func(fd uintptr) {
+		cookie, getErr = SocketCookieFD(int(fd))
+	}); err != nil {
+		return 0, fmt.Errorf("netx: control: %w", err)
+	}
+	return cookie, getErr
+}
+
+// SocketCookieFD is SocketCookie for a raw descriptor.
+func SocketCookieFD(fd int) (uint64, error) {
+	var cookie uint64
+	sz := uint32(8)
+	_, _, errno := syscall.Syscall6(syscall.SYS_GETSOCKOPT,
+		uintptr(fd), uintptr(syscall.SOL_SOCKET), uintptr(soCookie),
+		uintptr(unsafe.Pointer(&cookie)), uintptr(unsafe.Pointer(&sz)), 0)
+	if errno != 0 {
+		return 0, fmt.Errorf("netx: getsockopt SO_COOKIE: %w", errno)
+	}
+	return cookie, nil
 }
 
 // reusePortControl is a net.ListenConfig Control hook that sets

@@ -11,13 +11,18 @@ import (
 // SlotState describes one release slot (or single-instance daemon) for
 // /debug/release.
 type SlotState struct {
-	Name           string `json:"name"`
-	Generation     int    `json:"generation"`
+	Name       string `json:"name"`
+	Generation int    `json:"generation"`
+	// Phase is the release state machine position: "serving",
+	// "handing-off", "committed-awaiting-ready" (a ProtoDrainUndo
+	// hand-off committed, lease not yet resolved) or "draining".
+	Phase          string `json:"phase,omitempty"`
 	Draining       bool   `json:"draining"`
 	TakeoverArmed  bool   `json:"takeover_armed"`
 	ArmError       string `json:"arm_error,omitempty"`
 	Takeovers      int64  `json:"takeovers"`
 	TakeoverAborts int64  `json:"takeover_aborts"`
+	TakeoverUndos  int64  `json:"takeover_undos,omitempty"`
 	Drains         int64  `json:"drains"`
 }
 

@@ -124,6 +124,16 @@ type Config struct {
 	// remote traces arriving in x-zdr-trace headers. Nil disables
 	// tracing; propagation of incoming contexts still works.
 	Trace *obs.Tracer
+
+	// ReadyGate, when non-nil, is consulted by the receiver side of a
+	// ProtoDrainUndo hand-off after COMMIT, alongside the proxy's own
+	// serving checks, before the READY frame releases the old instance's
+	// lease. Returning an error steps this instance down and un-drains
+	// the old one. Chaos tests use it to wedge the post-commit window.
+	ReadyGate func() error
+	// TakeoverReadyTimeout bounds the sender-side post-commit wait for
+	// the receiver's READY frame; zero means takeover.DefaultReadyTimeout.
+	TakeoverReadyTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -160,6 +170,10 @@ type Proxy struct {
 	mu       sync.Mutex
 	draining bool
 	closed   bool
+	// awaitingReady is true between a committed ProtoDrainUndo hand-off
+	// and its lease resolution (READY received or undo) — the
+	// "committed-awaiting-ready" state of the release state machine.
+	awaitingReady bool
 	// edge state
 	tunnels   map[string]*tunnelEntry // origin addr -> session
 	rrOrigin  int
@@ -239,6 +253,30 @@ func (p *Proxy) Listen() error {
 	return p.Adopt(set)
 }
 
+// tcpHandler returns the connection handler a named TCP VIP is served
+// with in this proxy's role, or nil for VIPs the role does not serve. It
+// is the single source of truth for VIP→handler wiring, shared by Adopt
+// (initial arming) and undoDrain (re-arming after a drain-undo).
+func (p *Proxy) tcpHandler(name string) func(net.Conn) {
+	switch name {
+	case VIPHealth:
+		return p.handleHealthConn
+	case VIPWeb:
+		if p.cfg.Role == RoleEdge {
+			return p.handleEdgeHTTPConn
+		}
+	case VIPMQTT:
+		if p.cfg.Role == RoleEdge {
+			return p.handleEdgeMQTTConn
+		}
+	case VIPTunnel:
+		if p.cfg.Role == RoleOrigin {
+			return p.handleTunnelConn
+		}
+	}
+	return nil
+}
+
 // Adopt starts serving on an existing listener set — either freshly bound
 // or received through Socket Takeover.
 func (p *Proxy) Adopt(set *takeover.ListenerSet) error {
@@ -250,17 +288,19 @@ func (p *Proxy) Adopt(set *takeover.ListenerSet) error {
 	p.set = set
 	p.mu.Unlock()
 
-	if ln := set.TCP(VIPHealth); ln != nil {
-		p.serveLoop(ln, p.handleHealthConn)
+	for _, v := range set.VIPs() {
+		if v.Network != takeover.NetworkTCP {
+			continue
+		}
+		handler := p.tcpHandler(v.Name)
+		if handler == nil {
+			continue
+		}
+		if ln := set.TCP(v.Name); ln != nil {
+			p.serveLoop(ln, handler)
+		}
 	}
-	switch p.cfg.Role {
-	case RoleEdge:
-		if ln := set.TCP(VIPWeb); ln != nil {
-			p.serveLoop(ln, p.handleEdgeHTTPConn)
-		}
-		if ln := set.TCP(VIPMQTT); ln != nil {
-			p.serveLoop(ln, p.handleEdgeMQTTConn)
-		}
+	if p.cfg.Role == RoleEdge {
 		if pc := set.UDP(VIPQUIC); pc != nil {
 			// The shared *net.UDPConn stays in the listener set for FD
 			// hand-off; the serving stack sees it through the optional
@@ -270,10 +310,6 @@ func (p *Proxy) Adopt(set *takeover.ListenerSet) error {
 			p.quic = q
 			p.mu.Unlock()
 			q.Start()
-		}
-	case RoleOrigin:
-		if ln := set.TCP(VIPTunnel); ln != nil {
-			p.serveLoop(ln, p.handleTunnelConn)
 		}
 	}
 	return nil
@@ -371,6 +407,23 @@ func (p *Proxy) Draining() bool {
 	return p.draining
 }
 
+// readyToServe reports whether this instance is genuinely serving — the
+// default readiness attestation behind the READY frame (the admin
+// /healthz endpoint answers from the same state).
+func (p *Proxy) readyToServe() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case p.closed:
+		return errors.New("proxy: closed")
+	case p.set == nil:
+		return errors.New("proxy: no listener set adopted")
+	case p.draining:
+		return errors.New("proxy: draining")
+	}
+	return nil
+}
+
 // handleHealthConn answers Katran's probes and the monitoring plane:
 //
 //	"HC\n"    → "OK\n", or "DRAIN\n" while draining (§2.3: draining
@@ -414,20 +467,43 @@ func (p *Proxy) ServeTakeover(path string) error {
 		return errors.New("proxy: not serving yet")
 	}
 	srv := &takeover.Server{
-		Set:    set,
-		Tracer: p.cfg.Trace,
+		Set:          set,
+		Tracer:       p.cfg.Trace,
+		ReadyTimeout: p.cfg.TakeoverReadyTimeout,
 		OnDrainStart: func(res takeover.Result) {
 			// Join the receiver's hand-off trace (ack.Trace) so the old
 			// instance's drain appears under the new instance's span tree.
 			// Only a committed hand-off reaches this point: on the
 			// two-phase protocol draining begins strictly after COMMIT.
 			p.reg.Counter("proxy.takeover_commits").Inc()
+			if res.Proto >= takeover.ProtoDrainUndo {
+				p.mu.Lock()
+				p.awaitingReady = true
+				p.mu.Unlock()
+			}
 			p.startDrainingTraced(res.PeerTrace)
 		},
-		OnHandoffError: func(error) {
-			// The receiver died or misbehaved before the hand-off
-			// committed; this instance rolled back (never started
-			// draining) and keeps serving.
+		OnReady: func(takeover.Result) {
+			// The receiver confirmed serving: the lease is released and
+			// the drain is final.
+			p.mu.Lock()
+			p.awaitingReady = false
+			p.mu.Unlock()
+			p.reg.Counter("proxy.takeover_readies").Inc()
+		},
+		OnUndo: func(rearmed *takeover.ListenerSet, cause error) {
+			// The lease broke before READY: the receiver is presumed dead
+			// and this instance un-drains onto the re-armed listeners.
+			p.reg.Counter("proxy.takeover_undos").Inc()
+			p.undoDrain(rearmed, cause)
+		},
+		OnHandoffError: func(err error) {
+			// The receiver died or misbehaved; this instance rolled back
+			// (pre-commit abort) or un-drained (post-commit undo) and
+			// keeps serving.
+			if errors.Is(err, takeover.ErrUndone) {
+				return // counted via proxy.takeover_undos
+			}
 			p.reg.Counter("proxy.takeover_aborts").Inc()
 		},
 	}
@@ -459,19 +535,36 @@ func (p *Proxy) ServeTakeover(path string) error {
 // TakeoverFrom connects to the old instance's takeover server, receives
 // the listener set, and starts serving on it (Fig. 5 steps B–D and F).
 func (p *Proxy) TakeoverFrom(path string) (*takeover.Result, error) {
-	return p.TakeoverFromTraced(path, nil)
+	return p.TakeoverFromWith(path, TakeoverOptions{})
 }
 
-// TakeoverFromTraced is TakeoverFrom recorded under a takeover.handoff
-// span: a child of parent when given, else a root span on Config.Trace,
-// else untraced. The six Fig. 5 steps appear as takeover.step.A–F
+// / Deprecated: TakeoverFromTraced is a legacy wrapper; use TakeoverFromWith
+// with TakeoverOptions{Trace}.
+func (p *Proxy) TakeoverFromTraced(path string, parent *obs.Span) (*takeover.Result, error) {
+	return p.TakeoverFromWith(path, TakeoverOptions{Trace: parent})
+}
+
+// TakeoverOptions configures the receiver side of a proxy takeover.
+type TakeoverOptions struct {
+	// Trace, when non-nil, parents the takeover.handoff span; otherwise a
+	// root span is recorded on Config.Trace (nil tracer: untraced).
+	Trace *obs.Span
+	// OnCommitted, when non-nil, fires the moment the sender's COMMIT is
+	// observed on a ProtoDrainUndo hand-off — the instant the release
+	// enters its committed-awaiting-ready state. The orchestrator uses it
+	// to surface the state in core.ProxySlot.
+	OnCommitted func()
+}
+
+// TakeoverFromWith is TakeoverFrom with explicit options, recorded under a
+// takeover.handoff span. The six Fig. 5 steps appear as takeover.step.A–F
 // children (A–E from the protocol exchange — with adoption armed inside
 // the prepare window — and F marking the transfer of health-check
 // responsibility once the hand-off commits).
-func (p *Proxy) TakeoverFromTraced(path string, parent *obs.Span) (*takeover.Result, error) {
-	hand := parent.StartChild("takeover.handoff")
+func (p *Proxy) TakeoverFromWith(path string, opts TakeoverOptions) (*takeover.Result, error) {
+	hand := opts.Trace.StartChild(obs.SpanTakeoverHandoff)
 	if hand == nil {
-		hand = p.cfg.Trace.StartSpan("takeover.handoff", obs.SpanContext{})
+		hand = p.cfg.Trace.StartSpan(obs.SpanTakeoverHandoff, obs.SpanContext{})
 	}
 	hand.SetAttr("instance", p.cfg.Name)
 	hand.SetAttr("path", path)
@@ -482,9 +575,11 @@ func (p *Proxy) TakeoverFromTraced(path string, parent *obs.Span) (*takeover.Res
 	// a successful Adopt aborts the hand-off (commit never arrives, peer
 	// crash), Disarm rolls this half-promoted generation back to a clean
 	// slate; the shared sockets stay alive in the old instance, which
-	// never stopped accepting.
-	_, res, err := takeover.ConnectWith(path, 0, takeover.DefaultConnectBackoff, takeover.ReceiveOptions{
-		Parent: hand,
+	// never stopped accepting. On a ProtoDrainUndo hand-off the same
+	// Disarm also unwinds a post-commit undo — there the old instance
+	// re-arms from its retained dups instead.
+	_, res, err := takeover.Connect(path, takeover.ConnectOptions{ReceiveOptions: takeover.ReceiveOptions{
+		Trace: hand,
 		Arm: func(set *takeover.ListenerSet, res *takeover.Result) error {
 			if err := p.Adopt(set); err != nil {
 				return err
@@ -503,10 +598,28 @@ func (p *Proxy) TakeoverFromTraced(path string, parent *obs.Span) (*takeover.Res
 		},
 		Disarm: func(*takeover.ListenerSet) {
 			p.reg.Counter("proxy.takeover_disarms").Inc()
-			p.Close()
+			p.stepDown()
 		},
-	})
+		Ready: func(*takeover.ListenerSet, *takeover.Result) error {
+			// The readiness gate behind the READY frame (ProtoDrainUndo):
+			// attest /healthz-green serving, not just adopted sockets. A
+			// failure here un-drains the old instance.
+			if opts.OnCommitted != nil {
+				opts.OnCommitted()
+			}
+			if err := p.readyToServe(); err != nil {
+				return err
+			}
+			if p.cfg.ReadyGate != nil {
+				return p.cfg.ReadyGate()
+			}
+			return nil
+		},
+	}})
 	if err != nil {
+		if errors.Is(err, takeover.ErrUndone) {
+			p.reg.Counter("proxy.takeover_undone").Inc()
+		}
 		hand.Fail(err)
 		hand.End()
 		return nil, err
@@ -578,6 +691,68 @@ func (p *Proxy) startDrainingTraced(peerTrace string) {
 	}
 }
 
+// undoDrain reverses startDrainingTraced after a broken drain-undo lease:
+// the hand-off committed but the receiver never confirmed serving, so this
+// instance resumes full ownership. rearmed holds listeners rebuilt from
+// the takeover layer's retained dups — the same kernel sockets this
+// instance was serving before the drain, with every SYN that arrived
+// during the recovery window still queued in their backlogs.
+//
+// The TCP listeners are folded back into the serving set (the drain's
+// CloseTCP removed those entries) and their accept loops restarted; the
+// UDP dups are redundant — the draining instance never closed its UDP
+// handles — so they are dropped and the QUIC stack just resumes reading.
+// Origin sessions that already received a reconnect solicitation are left
+// alone: DCR re-homes those streams through another Origin regardless
+// (§4.2), while unsolicited future connections land here again.
+func (p *Proxy) undoDrain(rearmed *takeover.ListenerSet, cause error) {
+	p.mu.Lock()
+	if p.closed || !p.draining {
+		p.mu.Unlock()
+		rearmed.Close()
+		return
+	}
+	p.draining = false
+	p.awaitingReady = false
+	p.drainCh = make(chan struct{})
+	drainSpan := p.drainSpan
+	p.drainSpan = nil
+	set := p.set
+	quic := p.quic
+	p.mu.Unlock()
+
+	for _, v := range rearmed.VIPs() {
+		if v.Network == takeover.NetworkUDP {
+			if pc := rearmed.UDP(v.Name); pc != nil {
+				pc.Close()
+			}
+			continue
+		}
+		ln := rearmed.TCP(v.Name)
+		if ln == nil {
+			continue
+		}
+		handler := p.tcpHandler(v.Name)
+		if handler == nil || set == nil || set.TCP(v.Name) != nil {
+			ln.Close()
+			continue
+		}
+		if err := set.AddTCP(v.Name, ln); err != nil {
+			ln.Close()
+			continue
+		}
+		p.serveLoop(ln, handler)
+	}
+	if quic != nil {
+		quic.UndoDrain()
+	}
+	p.reg.Counter("proxy.drain_undos").Inc()
+	if drainSpan != nil {
+		drainSpan.Fail(fmt.Errorf("proxy: drain undone: %w", cause))
+		drainSpan.End()
+	}
+}
+
 // Shutdown drains (if not already draining) and, after the drain period,
 // terminates all remaining work.
 func (p *Proxy) Shutdown() {
@@ -588,6 +763,36 @@ func (p *Proxy) Shutdown() {
 
 // Close terminates immediately (tests).
 func (p *Proxy) Close() { p.terminate() }
+
+// stepDown retires a generation that lost its hand-off — a pre-commit
+// abort or a post-commit undo. The peer generation owns the shared
+// kernel sockets and never stopped (or has resumed) accepting, so the
+// only connections at risk are the ones this instance already pulled off
+// the accept queue: stop accepting first, give their handlers a bounded
+// window to finish, then terminate. A hard Close here would turn a
+// survivable rollback into client-visible disruption.
+func (p *Proxy) stepDown() {
+	p.mu.Lock()
+	closed := p.closed
+	set := p.set
+	p.mu.Unlock()
+	if closed {
+		return
+	}
+	if set != nil {
+		set.CloseTCP() // handles only; the peer's FDs keep the sockets alive
+	}
+	finished := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+	}
+	p.terminate()
+}
 
 func (p *Proxy) terminate() {
 	p.mu.Lock()
@@ -651,17 +856,27 @@ func (p *Proxy) Tracer() *obs.Tracer { return p.cfg.Trace }
 func (p *Proxy) ReleaseState() obs.ReleaseState {
 	p.mu.Lock()
 	draining := p.draining
+	awaiting := p.awaitingReady
 	armed := p.takeSrv != nil
 	p.mu.Unlock()
+	phase := "serving"
+	switch {
+	case awaiting:
+		phase = "committed-awaiting-ready"
+	case draining:
+		phase = "draining"
+	}
 	return obs.ReleaseState{
 		Service:  p.cfg.Name,
 		Draining: draining,
 		Slots: []obs.SlotState{{
 			Name:           p.cfg.Name,
+			Phase:          phase,
 			Draining:       draining,
 			TakeoverArmed:  armed,
 			Takeovers:      p.reg.CounterValue("proxy.takeovers"),
 			TakeoverAborts: p.reg.CounterValue("proxy.takeover_aborts"),
+			TakeoverUndos:  p.reg.CounterValue("proxy.takeover_undos"),
 			Drains:         p.reg.CounterValue("proxy.drains"),
 		}},
 		InFlightSpans: p.cfg.Trace.InFlight(),

@@ -151,6 +151,14 @@ type Server struct {
 	// through its still-open handle.
 	drainMain bool
 	closed    bool
+	// mainLoops counts live VIP read loops (0 or 1). UndoDrain and the
+	// loop's own exit decision share the mutex, so an undo never leaves
+	// the socket with zero readers or spawns a second one.
+	mainLoops int
+	// fwdLoop records that the forward read loop has been spawned; it
+	// runs until Close, so a drain → undo → drain cycle must not spawn
+	// another.
+	fwdLoop bool
 
 	// sockets
 	main net.PacketConn // the VIP socket (shared across takeover)
@@ -183,6 +191,9 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Start begins reading the VIP socket.
 func (s *Server) Start() {
+	s.mu.Lock()
+	s.mainLoops++
+	s.mu.Unlock()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -253,16 +264,52 @@ func (s *Server) StartDraining() (*net.UDPAddr, error) {
 	s.mu.Lock()
 	s.acceptNew = false
 	s.drainMain = true
+	startFwd := !s.fwdLoop
+	s.fwdLoop = true
 	s.mu.Unlock()
 	// Kick the blocked VIP read so the loop observes drainMain. Reads stop;
 	// writes through the shared socket are unaffected.
 	s.main.SetReadDeadline(time.Now())
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		s.readLoop(fwd, true)
-	}()
+	if startFwd {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.readLoop(fwd, true)
+		}()
+	}
 	return fwdAddr, nil
+}
+
+// UndoDrain reverses StartDraining (the takeover's drain-undo path): the
+// server resumes reading the VIP socket and accepting new flows. The
+// forward socket and its read loop are left running — re-arming them is
+// idempotent via StartDraining's fwdLoop guard, and a subsequent retried
+// hand-off reuses them. The main-loop handover is race-free: the old read
+// loop's exit decision and this spawn share the mutex, so the socket ends
+// up with exactly one reader whether or not the old loop had already
+// observed the drain flag.
+func (s *Server) UndoDrain() {
+	s.mu.Lock()
+	if s.closed || !s.drainMain {
+		s.mu.Unlock()
+		return
+	}
+	s.drainMain = false
+	s.acceptNew = true
+	spawn := s.mainLoops == 0
+	if spawn {
+		s.mainLoops++
+	}
+	s.mu.Unlock()
+	// Clear the poison deadline StartDraining used to kick the loop.
+	s.main.SetReadDeadline(time.Time{})
+	if spawn {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.readLoop(s.main, false)
+		}()
+	}
 }
 
 // Close stops the server. The VIP socket is closed too (harmless post-
@@ -290,16 +337,25 @@ func (s *Server) readLoop(conn net.PacketConn, forwarded bool) {
 		n, from, err := conn.ReadFrom(buf)
 		if err != nil {
 			if !forwarded {
+				// The exit decision and the mainLoops decrement are one
+				// critical section: UndoDrain's decision to spawn a
+				// replacement reader keys off mainLoops under the same
+				// lock, so the two can never double-spawn or strand the
+				// socket readerless.
 				s.mu.Lock()
-				drain := s.drainMain
-				s.mu.Unlock()
-				if drain {
+				if s.drainMain || s.closed {
+					s.mainLoops--
+					s.mu.Unlock()
 					return // hand the VIP socket's read side to the new instance
 				}
+				s.mu.Unlock()
 				var ne net.Error
 				if errors.As(err, &ne) && ne.Timeout() {
 					continue // spurious deadline; keep serving
 				}
+				s.mu.Lock()
+				s.mainLoops--
+				s.mu.Unlock()
 			}
 			return
 		}

@@ -27,8 +27,8 @@ func Example() {
 	defer a.Close()
 	defer b.Close()
 
-	go takeover.Handoff(a, old, 0)
-	adopted, res, err := takeover.Receive(b, 0)
+	go takeover.Handoff(a, old, takeover.HandoffOptions{})
+	adopted, res, err := takeover.Receive(b, takeover.ReceiveOptions{})
 	if err != nil {
 		panic(err)
 	}

@@ -15,17 +15,28 @@
 //	    (reconstructing net.Listener/net.UDPConn values from them) and
 //	    arms them: accept loops running, health checks green.
 //	(D) The new instance confirms to the old server so it can start
-//	    draining existing connections. On the current protocol revision
-//	    (ProtoTwoPhase) this confirmation is split in two: the receiver
-//	    sends PREPARE-ACK once it is armed, and the sender answers with
-//	    COMMIT — only then does draining begin. Any failure before the
-//	    COMMIT is delivered (arm error, receiver crash, timeout) aborts
-//	    the hand-off: the sender keeps serving, the receiver disarms, and
-//	    no client ever sees a reset. ProtoOneShot peers keep the original
-//	    single-ACK exchange, where the ACK itself is the commit point.
+//	    draining existing connections. Since ProtoTwoPhase this
+//	    confirmation is split in two: the receiver sends PREPARE-ACK once
+//	    it is armed, and the sender answers with COMMIT — only then does
+//	    draining begin. Any failure before the COMMIT is delivered (arm
+//	    error, receiver crash, timeout) aborts the hand-off: the sender
+//	    keeps serving, the receiver disarms, and no client ever sees a
+//	    reset. ProtoOneShot peers keep the original single-ACK exchange,
+//	    where the ACK itself is the commit point.
 //	(E) On commit, the old instance stops handling new connections and
 //	    drains.
 //	(F) The new instance takes over health-check responsibility.
+//
+// ProtoDrainUndo extends the commit with a post-commit recovery window:
+// the sender retains dup'd FDs for every handed-off listener past COMMIT
+// and keeps the UNIX-socket session open as a liveness lease. The receiver
+// sends a READY frame once its proxy is confirmed serving; the sender
+// answers with the drain-started confirmation, which releases the lease
+// (retained dups closed, drain proceeds). If the lease breaks before READY
+// — receiver crash, kill -9, armed-then-wedged — the sender un-drains:
+// it re-arms its listeners from the retained dups and resumes accepting.
+// No reset, no rebind. The retained dups keep the kernel sockets alive
+// throughout the window, so SYNs queue in the backlog instead of failing.
 //
 // Because the FDs are shared file-table entries, the listening sockets are
 // never closed during the restart: TCP SYNs continue to be queued and UDP
@@ -85,6 +96,7 @@ const (
 	msgPrepareAck   = 5 // receiver → sender: armed and serving, awaiting commit
 	msgCommit       = 6 // sender → receiver: hand-off committed, drain begins now
 	msgAbort        = 7 // sender → receiver: hand-off abandoned before commit
+	msgReady        = 8 // receiver → sender: confirmed serving, release the lease (v3)
 
 	// fdsPerFrame bounds descriptors per sendmsg; Linux caps SCM_RIGHTS
 	// at 253 per message, and netx enforces its own lower bound. Larger
@@ -92,12 +104,15 @@ const (
 	fdsPerFrame = 64
 )
 
-// Protocol revisions, negotiated via the manifest's proto field. A v2
-// sender always offers ProtoTwoPhase; a v1 receiver never sees the field
-// (unknown JSON keys are ignored) and answers with its classic single
-// ACK, which the sender accepts as a negotiated-down one-shot hand-off.
-// A v1 sender never writes the field, so a v2 receiver falls back to the
-// one-shot exchange too. Both directions interoperate without a flag day.
+// Protocol revisions, negotiated via the manifest's proto field (sender's
+// offer) and the prepare-ack's proto field (receiver's answer). A v1
+// receiver never sees the manifest field (unknown JSON keys are ignored)
+// and answers with its classic single ACK, which the sender accepts as a
+// negotiated-down one-shot hand-off; a v1 sender never writes the field,
+// so newer receivers fall back to the one-shot exchange too. A v2
+// receiver answers PREPARE-ACK without a proto field, which a v3 sender
+// reads as "two-phase, no lease". All directions interoperate without a
+// flag day.
 const (
 	// ProtoOneShot is the original protocol: the receiver's ACK is the
 	// commit point, so an adopt failure after the ACK leaves only
@@ -107,10 +122,27 @@ const (
 	// armed) and COMMIT (sender stops accepting): every failure before
 	// COMMIT rolls both sides back with zero client-visible resets.
 	ProtoTwoPhase = 2
+	// ProtoDrainUndo adds a post-commit recovery window on top of
+	// ProtoTwoPhase: the sender retains dup'd listener FDs past COMMIT
+	// and holds the session open as a liveness lease until the receiver's
+	// READY frame; a broken lease un-drains the sender (re-arm from the
+	// retained dups) instead of falling through to RestartFresh. Offering
+	// it promises exactly that undo behaviour, so only lease-driving
+	// senders (Server with OnUndo, or an explicit Proto) advertise it.
+	ProtoDrainUndo = 3
+
+	// maxProto is the newest revision this build understands.
+	maxProto = ProtoDrainUndo
 )
 
 // DefaultHandshakeTimeout bounds each protocol step.
 const DefaultHandshakeTimeout = 5 * time.Second
+
+// DefaultReadyTimeout bounds the sender's post-commit wait for the
+// receiver's READY frame (the drain-undo lease). A receiver that has not
+// confirmed serving within this window is presumed dead and the hand-off
+// is undone.
+const DefaultReadyTimeout = 5 * time.Second
 
 // Manifest metadata keys used by the protocol itself (everything else in
 // Meta passes through opaquely).
@@ -121,7 +153,9 @@ const (
 	// metaDrainNotify announces that the sender will send a
 	// msgDrainStarted frame once it has stopped accepting (step E). The
 	// receiver only waits for the confirmation when the key is present,
-	// which keeps bare Handoff/Receive pairs compatible.
+	// which keeps bare Handoff/Receive pairs compatible. On ProtoDrainUndo
+	// the confirmation doubles as the lease release and is mandatory
+	// regardless of this key.
 	metaDrainNotify = "zdr-drain-notify"
 )
 
@@ -317,14 +351,152 @@ func (s *ListenerSet) fds() ([]int, error) {
 	return fds, nil
 }
 
+// adoptFDs reconstructs listeners/packet sockets from fds according to
+// vips, consuming every descriptor (adopted into the set or closed —
+// §5.1 orphan prevention). It returns the set, the number of descriptors
+// it had to close, and the first adoption error.
+func adoptFDs(vips []VIP, fds []int) (*ListenerSet, int, error) {
+	set := NewListenerSet()
+	orphans := 0
+	var firstErr error
+	for i, fd := range fds {
+		if i >= len(vips) {
+			// More FDs than manifest entries: close the strays rather
+			// than leak live sockets (§5.1).
+			syscall.Close(fd)
+			orphans++
+			continue
+		}
+		v := vips[i]
+		var err error
+		switch v.Network {
+		case NetworkTCP:
+			var ln *net.TCPListener
+			ln, err = netx.ListenerFromFD(fd, v.Name)
+			if err == nil {
+				err = set.AddTCP(v.Name, ln)
+				if err != nil {
+					ln.Close()
+				}
+			}
+		case NetworkUDP:
+			var pc *net.UDPConn
+			pc, err = netx.PacketConnFromFD(fd, v.Name)
+			if err == nil {
+				err = set.AddUDP(v.Name, pc)
+				if err != nil {
+					pc.Close()
+				}
+			}
+		default:
+			syscall.Close(fd)
+			err = fmt.Errorf("takeover: vip %q has unknown network %q", v.Name, v.Network)
+		}
+		if err != nil {
+			orphans++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return set, orphans, firstErr
+}
+
+// RetainedSet holds the sender's dup'd listener FDs through the
+// ProtoDrainUndo post-commit window. The dups keep the kernel sockets
+// alive (and their accept backlogs queuing) no matter what happens to the
+// receiver. Exactly one of two things must happen to a RetainedSet:
+//
+//   - Close — the receiver confirmed serving (READY received, lease
+//     released): drop the dups, the drain proceeds.
+//   - Rearm — the lease broke: rebuild a live ListenerSet from the dups
+//     so the sender can resume accepting on the very same kernel sockets.
+//
+// Server.ListenAndServe drives this lifecycle itself; only bare
+// Handoff callers that force ProtoDrainUndo need to manage it.
+type RetainedSet struct {
+	mu   sync.Mutex
+	vips []VIP
+	fds  []int
+}
+
+func newRetainedSet(vips []VIP, fds []int) *RetainedSet {
+	return &RetainedSet{
+		vips: append([]VIP(nil), vips...),
+		fds:  append([]int(nil), fds...),
+	}
+}
+
+// Len returns the number of descriptors still retained.
+func (r *RetainedSet) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.fds)
+}
+
+// VIPs returns the VIP descriptors the retained FDs correspond to.
+func (r *RetainedSet) VIPs() []VIP {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]VIP(nil), r.vips...)
+}
+
+// Close releases every retained descriptor. Idempotent and nil-safe.
+func (r *RetainedSet) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	closeFDs(r.fds)
+	r.fds, r.vips = nil, nil
+	return nil
+}
+
+// Rearm consumes the retained descriptors and rebuilds a live ListenerSet
+// from them — the un-drain: because the dups share the original file-table
+// entries, the re-armed listeners are the same kernel sockets the clients
+// have been connecting to all along, and every SYN queued during the
+// recovery window is accepted, not reset. After Rearm (success or failure)
+// the set is empty; on failure everything it could not adopt is closed.
+func (r *RetainedSet) Rearm() (*ListenerSet, error) {
+	if r == nil {
+		return nil, errors.New("takeover: no retained descriptors")
+	}
+	r.mu.Lock()
+	vips, fds := r.vips, r.fds
+	r.vips, r.fds = nil, nil
+	r.mu.Unlock()
+	if len(fds) == 0 {
+		return nil, errors.New("takeover: no retained descriptors")
+	}
+	set, _, err := adoptFDs(vips, fds)
+	if err != nil {
+		set.Close()
+		return nil, fmt.Errorf("takeover: re-arming retained listeners: %w", err)
+	}
+	if set.Len() != len(vips) {
+		set.Close()
+		return nil, fmt.Errorf("takeover: re-armed %d of %d retained listeners", set.Len(), len(vips))
+	}
+	return set, nil
+}
+
 // manifest is the wire payload accompanying the FDs.
 type manifest struct {
 	Magic   uint16 `json:"magic"`
 	Version uint8  `json:"version"`
-	// Proto is the protocol revision the sender offers (ProtoTwoPhase).
-	// Absent/zero means a v1 sender: the receiver runs the one-shot
-	// exchange. v1 receivers ignore the field entirely, which is what
-	// makes the negotiation backward-compatible in both directions.
+	// Proto is the protocol revision the sender offers (ProtoTwoPhase or
+	// ProtoDrainUndo). Absent/zero means a v1 sender: the receiver runs
+	// the one-shot exchange. v1 receivers ignore the field entirely,
+	// which is what makes the negotiation backward-compatible in both
+	// directions.
 	Proto uint8 `json:"proto,omitempty"`
 	VIPs  []VIP `json:"vips"`
 	// Meta carries side-band hand-off data the new instance needs before
@@ -341,6 +513,11 @@ type ack struct {
 	// Trace is the receiver's span context, so the sender's drain joins
 	// the receiver-rooted hand-off trace.
 	Trace string `json:"trace,omitempty"`
+	// Proto is the protocol revision the receiver accepted. Pre-v3
+	// receivers never set it, so a zero on a PREPARE-ACK downgrades a
+	// ProtoDrainUndo offer to plain two-phase: the sender must not hold
+	// a lease a v2 receiver will never release.
+	Proto int `json:"proto,omitempty"`
 }
 
 // Result summarises a completed hand-off, from the sender's perspective
@@ -361,17 +538,28 @@ type Result struct {
 	// TraceMetaKey in the manifest metadata.
 	PeerTrace string
 	// DrainConfirmed reports that the sender confirmed it stopped
-	// accepting and began draining (receiver side; requires a sender that
-	// announces metaDrainNotify, i.e. Server.ListenAndServe).
+	// accepting and began draining (receiver side). On v2 it requires a
+	// sender that announces metaDrainNotify (i.e. Server.ListenAndServe)
+	// and is best-effort; on ProtoDrainUndo the confirmation is the lease
+	// release and always true on success.
 	DrainConfirmed bool
-	// Proto is the negotiated protocol revision (ProtoOneShot or
-	// ProtoTwoPhase).
+	// Proto is the negotiated protocol revision (ProtoOneShot,
+	// ProtoTwoPhase or ProtoDrainUndo).
 	Proto int
 	// Committed reports the hand-off passed its commit point: the sender
 	// has stopped accepting and is draining. Always true on a successful
 	// hand-off; it exists so failure paths can be classified (see
-	// ErrAborted).
+	// ErrAborted and ErrUndone).
 	Committed bool
+	// Ready reports that this receiver delivered its READY frame
+	// (ProtoDrainUndo, receiver side).
+	Ready bool
+	// Retained holds the sender's dup'd FDs through the post-commit
+	// window (sender side, ProtoDrainUndo only; nil otherwise). The
+	// caller owns it and must Close it once the receiver is confirmed
+	// serving, or Rearm it to un-drain. Server.ListenAndServe drives
+	// this lease automatically.
+	Retained *RetainedSet
 }
 
 var (
@@ -385,9 +573,19 @@ var (
 	// before the commit point: the sender never began draining (or rolled
 	// back to serving), no client saw a reset, and the caller may safely
 	// retry with a freshly built receiver. Failures NOT wrapped in
-	// ErrAborted (e.g. post-commit promotion errors) fall through to the
-	// RestartFresh remediation instead.
+	// ErrAborted or ErrUndone (e.g. post-commit promotion errors on
+	// pre-v3 protocols) fall through to the RestartFresh remediation
+	// instead.
 	ErrAborted = errors.New("takeover: hand-off aborted before commit")
+	// ErrUndone marks a hand-off that passed its commit point and was
+	// then rolled back through the drain-undo lease (ProtoDrainUndo): the
+	// receiver could not confirm serving — crash, wedge, failed readiness
+	// gate, lost READY — so the sender re-armed its retained listener
+	// dups and resumed serving. Like ErrAborted, no client saw a reset
+	// and the caller may retry with a fresh receiver; unlike ErrAborted,
+	// the failure happened after COMMIT, in the window that previously
+	// required RestartFresh.
+	ErrUndone = errors.New("takeover: hand-off undone after commit")
 )
 
 // abortErr classifies err as a pre-commit abort.
@@ -396,6 +594,14 @@ func abortErr(err error) error {
 		return err
 	}
 	return fmt.Errorf("%w: %w", ErrAborted, err)
+}
+
+// undoneErr classifies err as a post-commit undo.
+func undoneErr(err error) error {
+	if err == nil || errors.Is(err, ErrUndone) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrUndone, err)
 }
 
 func writeFrame(conn *net.UnixConn, kind byte, payload []byte, fds []int) error {
@@ -455,25 +661,6 @@ func closeFDs(fds []int) {
 	}
 }
 
-// Handoff runs the sender side (old instance) of the takeover protocol on
-// an established UNIX socket connection: it sends the manifest and FDs for
-// every socket in set, then waits for the new instance's confirmation.
-// A nil timeout means DefaultHandshakeTimeout.
-//
-// On success the old instance should stop accepting new connections and
-// begin draining (step E); its copies of the listening sockets remain open
-// until it exits, which is harmless because both instances share the file
-// table entries.
-func Handoff(conn *net.UnixConn, set *ListenerSet, timeout time.Duration) (*Result, error) {
-	return HandoffWith(conn, set, HandoffOptions{Timeout: timeout})
-}
-
-// HandoffMeta is Handoff with side-band metadata delivered to the
-// receiver's Result.Meta.
-func HandoffMeta(conn *net.UnixConn, set *ListenerSet, meta map[string]string, timeout time.Duration) (*Result, error) {
-	return HandoffWith(conn, set, HandoffOptions{Meta: meta, Timeout: timeout})
-}
-
 // HandoffOptions configures the sender side of a hand-off.
 type HandoffOptions struct {
 	// Meta is side-band hand-off data delivered to the receiver's
@@ -481,20 +668,34 @@ type HandoffOptions struct {
 	Meta map[string]string
 	// Timeout bounds the exchange; zero means DefaultHandshakeTimeout.
 	Timeout time.Duration
-	// Parent, when non-nil, gets a "takeover.prepare" child span covering
+	// Trace, when non-nil, gets a "takeover.prepare" child span covering
 	// the manifest+FD transfer through commit delivery. An aborted
 	// hand-off fails that span and records no "takeover.commit" span.
-	Parent *obs.Span
+	Trace *obs.Span
 	// Proto is the protocol revision to offer; zero means ProtoTwoPhase.
 	// ProtoOneShot forces the legacy single-ACK exchange (wire-identical
-	// to a v1 sender).
+	// to a v1 sender). ProtoDrainUndo promises the caller will drive the
+	// post-commit lease itself: close or re-arm Result.Retained (Server
+	// does this automatically and is the normal way to offer v3).
 	Proto int
 }
 
-// HandoffWith is Handoff with explicit options. On an error the hand-off
-// aborted before this instance stopped accepting: it is still fully in
-// charge and must keep serving.
-func HandoffWith(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Result, error) {
+// Handoff runs the sender side (old instance) of the takeover protocol on
+// an established UNIX socket connection: it sends the manifest and FDs for
+// every socket in set, then waits for the new instance's confirmation and
+// delivers the COMMIT. It is the canonical sender entry point; the
+// HandoffMeta/HandoffWith names are deprecated wrappers around it.
+//
+// On success the old instance should stop accepting new connections and
+// begin draining (step E); its copies of the listening sockets remain open
+// until it exits, which is harmless because both instances share the file
+// table entries. On an error the hand-off aborted before this instance
+// stopped accepting: it is still fully in charge and must keep serving.
+//
+// When ProtoDrainUndo is negotiated, Result.Retained holds dup'd FDs for
+// every transferred listener; the caller owns the post-commit lease (see
+// RetainedSet).
+func Handoff(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Result, error) {
 	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
@@ -503,7 +704,7 @@ func HandoffWith(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Re
 	if proto == 0 {
 		proto = ProtoTwoPhase
 	}
-	if proto != ProtoOneShot && proto != ProtoTwoPhase {
+	if proto < ProtoOneShot || proto > maxProto {
 		return nil, fmt.Errorf("takeover: unknown protocol revision %d", proto)
 	}
 	start := time.Now()
@@ -513,7 +714,7 @@ func HandoffWith(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Re
 	}
 	defer conn.SetDeadline(time.Time{})
 
-	sp := opts.Parent.StartChild("takeover.prepare")
+	sp := opts.Trace.StartChild(obs.SpanTakeoverPrepare)
 	sp.SetAttr("side", "sender")
 	fail := func(err error) (*Result, error) {
 		sp.Fail(err)
@@ -530,10 +731,10 @@ func HandoffWith(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Re
 	}
 
 	m := manifest{Magic: magic, Version: version, VIPs: set.VIPs(), Meta: opts.Meta}
-	if proto == ProtoTwoPhase {
+	if proto >= ProtoTwoPhase {
 		// A forced one-shot offer stays byte-identical to a v1 sender
 		// (field absent).
-		m.Proto = ProtoTwoPhase
+		m.Proto = uint8(proto)
 	}
 	payload, err := json.Marshal(m)
 	if err != nil {
@@ -543,7 +744,15 @@ func HandoffWith(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Re
 	if err != nil {
 		return fail(err)
 	}
-	defer closeFDs(fds) // our dups; receiver has its own after sendmsg
+	// Our dups; the receiver has its own after sendmsg. On a negotiated
+	// ProtoDrainUndo hand-off they instead survive as Result.Retained —
+	// the post-commit recovery window.
+	retained := false
+	defer func() {
+		if !retained {
+			closeFDs(fds)
+		}
+	}()
 	first := fds
 	if len(first) > fdsPerFrame {
 		first = first[:fdsPerFrame]
@@ -580,16 +789,28 @@ func HandoffWith(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Re
 	}
 	res := &Result{VIPs: m.VIPs, PeerTrace: a.Trace, Proto: ProtoOneShot}
 	if kind == msgPrepareAck {
-		if proto != ProtoTwoPhase {
+		if proto < ProtoTwoPhase {
 			return abort(fmt.Errorf("takeover: unexpected prepare-ack on a one-shot hand-off"))
 		}
-		// The receiver is armed and serving. This write is the commit
-		// point: if COMMIT cannot be delivered the receiver disarms and
-		// this instance keeps serving — nobody drains, nobody resets.
+		// The receiver's answer caps the revision: a pre-v3 receiver
+		// omits the proto field (zero), and the sender must not hold a
+		// lease such a peer will never release.
+		negotiated := ProtoTwoPhase
+		if proto >= ProtoDrainUndo && a.Proto >= ProtoDrainUndo {
+			negotiated = ProtoDrainUndo
+		}
+		// This write is the commit point: if COMMIT cannot be delivered
+		// the receiver disarms and this instance keeps serving — nobody
+		// drains, nobody resets.
 		if err := writeFrame(conn, msgCommit, nil, nil); err != nil {
 			return fail(fmt.Errorf("takeover: delivering commit: %w", err))
 		}
-		res.Proto = ProtoTwoPhase
+		res.Proto = negotiated
+		if negotiated >= ProtoDrainUndo {
+			res.Retained = newRetainedSet(m.VIPs, fds)
+			retained = true
+			sp.SetAttr("retained_fds", strconv.Itoa(len(fds)))
+		}
 	}
 	// A one-shot receiver's single ACK is already the commit point — a v1
 	// peer negotiates the two-phase offer down rather than failing it.
@@ -600,36 +821,42 @@ func HandoffWith(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Re
 	return res, nil
 }
 
-// Receive runs the receiver side (new instance): it reads the manifest and
-// FDs, reconstructs a ListenerSet, closes any FD it cannot adopt (orphan
-// prevention, §5.1), and confirms to the old instance.
-func Receive(conn *net.UnixConn, timeout time.Duration) (*ListenerSet, *Result, error) {
-	return ReceiveWith(conn, ReceiveOptions{Timeout: timeout})
+// Deprecated: HandoffMeta is a legacy wrapper; use Handoff with
+// HandoffOptions{Meta, Timeout}.
+func HandoffMeta(conn *net.UnixConn, set *ListenerSet, meta map[string]string, timeout time.Duration) (*Result, error) {
+	return Handoff(conn, set, HandoffOptions{Meta: meta, Timeout: timeout})
 }
 
-// ReceiveTraced is Receive with Fig. 5 step spans recorded as children of
-// parent (nil parent disables tracing).
-func ReceiveTraced(conn *net.UnixConn, timeout time.Duration, parent *obs.Span) (*ListenerSet, *Result, error) {
-	return ReceiveWith(conn, ReceiveOptions{Timeout: timeout, Parent: parent})
+// Deprecated: HandoffWith is the pre-consolidation name for Handoff.
+func HandoffWith(conn *net.UnixConn, set *ListenerSet, opts HandoffOptions) (*Result, error) {
+	return Handoff(conn, set, opts)
 }
 
 // ReceiveOptions configures the receiver side of a hand-off.
 type ReceiveOptions struct {
 	// Timeout bounds the exchange; zero means DefaultHandshakeTimeout.
 	Timeout time.Duration
-	// Parent, when non-nil, gets the Fig. 5 step spans as children:
+	// Trace, when non-nil, gets the Fig. 5 step spans as children:
 	//
 	//	takeover.step.B   manifest + FD frames read
 	//	takeover.step.C   listeners reconstructed from the FDs
 	//	takeover.prepare  Arm run, PREPARE-ACK sent   (two-phase)
 	//	takeover.commit   sender's COMMIT awaited     (two-phase)
 	//	takeover.step.D   Arm run, single ACK sent    (one-shot peers)
+	//	takeover.ready    Ready gate run, READY sent  (ProtoDrainUndo)
 	//	takeover.step.E   sender's drain-start confirmation awaited
 	//
-	// Step E is only awaited when the sender announced it (metaDrainNotify
-	// in the manifest); its failure is recorded on the span but does not
-	// fail the hand-off — the sockets are already adopted.
-	Parent *obs.Span
+	// On v2 step E is only awaited when the sender announced it
+	// (metaDrainNotify in the manifest) and its failure is recorded on
+	// the span without failing the hand-off. On ProtoDrainUndo the
+	// drain-start confirmation is the lease release and mandatory: its
+	// absence means the sender undid the hand-off, so this side disarms
+	// and returns ErrUndone.
+	Trace *obs.Span
+	// Proto caps the revision this receiver accepts; zero means the
+	// newest supported (ProtoDrainUndo). ProtoTwoPhase emulates a v2
+	// receiver, ProtoOneShot a v1 receiver (compat testing).
+	Proto int
 	// Arm, when non-nil, runs after the listener set is reconstructed and
 	// must leave this instance fully serving (accept loops running,
 	// health checks green) before returning nil: its success is exactly
@@ -638,28 +865,49 @@ type ReceiveOptions struct {
 	// serving, the set is closed, and the error is wrapped in ErrAborted.
 	Arm func(set *ListenerSet, res *Result) error
 	// Disarm, when non-nil, unwinds a successful Arm after a pre-commit
-	// abort (commit timeout, peer abort or crash). When nil the listener
-	// set is merely closed.
+	// abort (commit timeout, peer abort or crash) or a post-commit undo
+	// (failed Ready gate, broken lease). When nil the listener set is
+	// merely closed.
 	Disarm func(set *ListenerSet)
+	// Ready, when non-nil, is the ProtoDrainUndo readiness gate: it runs
+	// after COMMIT arrives and must confirm this instance is genuinely
+	// serving (e.g. /healthz green) before the READY frame goes out. An
+	// error steps this instance down — Disarm runs, the sender's lease
+	// breaks, the sender un-drains, and the error is wrapped in
+	// ErrUndone. Never invoked on pre-v3 negotiations.
+	Ready func(set *ListenerSet, res *Result) error
 }
 
-// ReceiveWith is Receive with explicit options. An error wrapped in
-// ErrAborted means the hand-off died before its commit point: the sender
-// keeps serving undisturbed and the caller may retry with a fresh
-// receiver.
-func ReceiveWith(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result, error) {
+// Receive runs the receiver side (new instance): it reads the manifest and
+// FDs, reconstructs a ListenerSet, closes any FD it cannot adopt (orphan
+// prevention, §5.1), arms, and confirms to the old instance. It is the
+// canonical receiver entry point; the ReceiveTraced/ReceiveWith names are
+// deprecated wrappers around it.
+//
+// An error wrapped in ErrAborted means the hand-off died before its commit
+// point; one wrapped in ErrUndone means it was rolled back through the
+// post-commit lease. In both cases the sender keeps (or resumes) serving
+// undisturbed and the caller may retry with a fresh receiver.
+func Receive(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result, error) {
 	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
 	}
-	parent := opts.Parent
+	rcap := opts.Proto
+	if rcap == 0 {
+		rcap = maxProto
+	}
+	if rcap < ProtoOneShot || rcap > maxProto {
+		return nil, nil, fmt.Errorf("takeover: unknown protocol revision %d", rcap)
+	}
+	parent := opts.Trace
 	start := time.Now()
 	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
 		return nil, nil, err
 	}
 	defer conn.SetDeadline(time.Time{})
 
-	spB := parent.StartChild("takeover.step.B")
+	spB := parent.StartChild(obs.SpanTakeoverStepB)
 	failB := func(err error) {
 		spB.Fail(err)
 		spB.End()
@@ -725,50 +973,8 @@ func ReceiveWith(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result
 	spB.SetAttr("fds", fmt.Sprintf("%d", len(fds)))
 	spB.End()
 
-	spC := parent.StartChild("takeover.step.C")
-	set := NewListenerSet()
-	orphans := 0
-	var firstErr error
-	for i, fd := range fds {
-		if i >= len(m.VIPs) {
-			// More FDs than manifest entries: close the strays rather
-			// than leak live sockets (§5.1).
-			syscall.Close(fd)
-			orphans++
-			continue
-		}
-		v := m.VIPs[i]
-		var err error
-		switch v.Network {
-		case NetworkTCP:
-			var ln *net.TCPListener
-			ln, err = netx.ListenerFromFD(fd, v.Name)
-			if err == nil {
-				err = set.AddTCP(v.Name, ln)
-				if err != nil {
-					ln.Close()
-				}
-			}
-		case NetworkUDP:
-			var pc *net.UDPConn
-			pc, err = netx.PacketConnFromFD(fd, v.Name)
-			if err == nil {
-				err = set.AddUDP(v.Name, pc)
-				if err != nil {
-					pc.Close()
-				}
-			}
-		default:
-			syscall.Close(fd)
-			err = fmt.Errorf("takeover: vip %q has unknown network %q", v.Name, v.Network)
-		}
-		if err != nil {
-			orphans++
-			if firstErr == nil {
-				firstErr = err
-			}
-		}
-	}
+	spC := parent.StartChild(obs.SpanTakeoverStepC)
+	set, orphans, firstErr := adoptFDs(m.VIPs, fds)
 	if len(fds) < len(m.VIPs) {
 		if firstErr == nil {
 			firstErr = fmt.Errorf("takeover: manifest lists %d vips but only %d fds arrived", len(m.VIPs), len(fds))
@@ -785,17 +991,20 @@ func ReceiveWith(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result
 	spC.End()
 
 	res := &Result{VIPs: m.VIPs, Meta: m.Meta, OrphanedFDs: orphans, PeerTrace: m.Meta[TraceMetaKey], Proto: ProtoOneShot}
-	twoPhase := m.Proto >= ProtoTwoPhase
-	if twoPhase {
+	if int(m.Proto) >= ProtoTwoPhase && rcap >= ProtoTwoPhase {
 		res.Proto = ProtoTwoPhase
+		if int(m.Proto) >= ProtoDrainUndo && rcap >= ProtoDrainUndo {
+			res.Proto = ProtoDrainUndo
+		}
 	}
+	twoPhase := res.Proto >= ProtoTwoPhase
 
 	// Arm before confirming: the confirmation — PREPARE-ACK on the
 	// two-phase protocol, the single ACK for one-shot peers — attests
 	// that this instance is already serving every VIP.
-	armSpan, ackKind := "takeover.step.D", byte(msgAck)
+	armSpan, ackKind := obs.SpanTakeoverStepD, byte(msgAck)
 	if twoPhase {
-		armSpan, ackKind = "takeover.prepare", msgPrepareAck
+		armSpan, ackKind = obs.SpanTakeoverPrepare, msgPrepareAck
 	}
 	spD := parent.StartChild(armSpan)
 	spD.SetAttr("side", "receiver")
@@ -818,7 +1027,15 @@ func ReceiveWith(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result
 		}
 		armed = true
 	}
-	if err := sendAckKind(conn, ackKind, ack{OK: true, Adopted: set.Len(), Trace: parent.Context().String()}); err != nil {
+	a := ack{OK: true, Adopted: set.Len(), Trace: parent.Context().String()}
+	if twoPhase {
+		// Answer with the accepted revision so a v3 sender knows whether
+		// this side will run the READY/lease epilogue. A one-shot ack
+		// stays byte-identical to v1 (field omitted when zero — and the
+		// one-shot path never sets it).
+		a.Proto = res.Proto
+	}
+	if err := sendAckKind(conn, ackKind, a); err != nil {
 		disarm()
 		spD.Fail(err)
 		spD.End()
@@ -832,7 +1049,7 @@ func ReceiveWith(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result
 		// never answering (deadline) — and in every one of those cases
 		// this instance disarms: from the clients' point of view the
 		// hand-off never happened, and the sender keeps serving.
-		spCommit := parent.StartChild("takeover.commit")
+		spCommit := parent.StartChild(obs.SpanTakeoverCommit)
 		spCommit.SetAttr("side", "receiver")
 		kind, payload, stray, err := readFrame(conn)
 		closeFDs(stray)
@@ -854,12 +1071,60 @@ func ReceiveWith(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result
 	}
 	res.Committed = true
 
-	if m.Meta[metaDrainNotify] == "1" {
+	if res.Proto >= ProtoDrainUndo {
+		// READY/lease epilogue: prove this instance is genuinely serving,
+		// deliver READY, and wait for the drain-start confirmation that
+		// releases the sender's lease. Unlike the v2 best-effort step E,
+		// every failure here means the sender will (or already did)
+		// un-drain from its retained dups — so this side must step down:
+		// a half of the lease handshake that cannot complete belongs to
+		// the generation that yields.
+		spReady := parent.StartChild(obs.SpanTakeoverReady)
+		spReady.SetAttr("side", "receiver")
+		var rerr error
+		if opts.Ready != nil {
+			if err := opts.Ready(set, res); err != nil {
+				rerr = fmt.Errorf("takeover: readiness gate: %w", err)
+			}
+		}
+		if rerr == nil {
+			if err := writeFrame(conn, msgReady, nil, nil); err != nil {
+				rerr = fmt.Errorf("takeover: delivering ready: %w", err)
+			} else {
+				res.Ready = true
+			}
+		}
+		if rerr != nil {
+			spReady.Fail(rerr)
+			spReady.End()
+		} else {
+			spReady.End()
+			spE := parent.StartChild(obs.SpanTakeoverStepE)
+			kind, _, stray, err := readFrame(conn)
+			closeFDs(stray)
+			switch {
+			case err != nil:
+				rerr = fmt.Errorf("takeover: waiting for lease release: %w", err)
+			case kind != msgDrainStarted:
+				rerr = fmt.Errorf("takeover: expected drain-start confirmation, got frame kind %d", kind)
+			default:
+				res.DrainConfirmed = true
+			}
+			if rerr != nil {
+				spE.Fail(rerr)
+			}
+			spE.End()
+		}
+		if rerr != nil {
+			disarm()
+			return nil, nil, undoneErr(rerr)
+		}
+	} else if m.Meta[metaDrainNotify] == "1" {
 		// Step E: the old instance stops accepting and begins draining; it
 		// confirms with a msgDrainStarted frame. Best-effort — the sockets
 		// are already ours, so a timeout here degrades to an errored span
 		// and DrainConfirmed=false, not a failed hand-off.
-		spE := parent.StartChild("takeover.step.E")
+		spE := parent.StartChild(obs.SpanTakeoverStepE)
 		kind, _, stray, err := readFrame(conn)
 		closeFDs(stray)
 		switch {
@@ -874,6 +1139,17 @@ func ReceiveWith(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result
 	}
 	res.Duration = time.Since(start)
 	return set, res, nil
+}
+
+// Deprecated: ReceiveTraced is a legacy wrapper; use Receive with
+// ReceiveOptions{Timeout, Trace}.
+func ReceiveTraced(conn *net.UnixConn, timeout time.Duration, parent *obs.Span) (*ListenerSet, *Result, error) {
+	return Receive(conn, ReceiveOptions{Timeout: timeout, Trace: parent})
+}
+
+// Deprecated: ReceiveWith is the pre-consolidation name for Receive.
+func ReceiveWith(conn *net.UnixConn, opts ReceiveOptions) (*ListenerSet, *Result, error) {
+	return Receive(conn, opts)
 }
 
 func sendAck(conn *net.UnixConn, a ack) error {
@@ -897,33 +1173,85 @@ type Server struct {
 	// Meta is side-band hand-off data sent with the manifest (e.g. the
 	// UDP user-space-routing forward address).
 	Meta map[string]string
-	// OnDrainStart, if non-nil, is invoked after a successful hand-off —
+	// OnDrainStart, if non-nil, is invoked after a committed hand-off —
 	// the point at which the old instance must stop accepting and start
-	// draining (step E).
+	// draining (step E). On a ProtoDrainUndo hand-off the drain may still
+	// be rolled back by OnUndo if the receiver never confirms serving.
 	OnDrainStart func(Result)
+	// OnReady, if non-nil, is invoked when the receiver's READY frame
+	// releases the drain-undo lease: the hand-off is final, the retained
+	// dups are closed, and the drain proceeds to completion.
+	OnReady func(Result)
+	// OnUndo, if non-nil, is invoked when the drain-undo lease breaks
+	// before READY (receiver crash, wedge, failed readiness gate): the
+	// listeners have been re-armed from the retained dups and the
+	// callback must resume accepting on them — reversing whatever
+	// OnDrainStart did. cause is the lease failure. Offering
+	// ProtoDrainUndo requires this callback (without it the server caps
+	// its offer at ProtoTwoPhase).
+	OnUndo func(rearmed *ListenerSet, cause error)
 	// OnHandoffError, if non-nil, is invoked after a failed hand-off
 	// attempt (receiver died mid-handshake, arm failure nack, prepare-ack
-	// or commit-delivery timeout, protocol error). The server has already
-	// rolled back: its dup'd FDs are closed, the instance never started
-	// draining, and it keeps accepting further hand-off attempts. The
-	// callback is the abort's observability hook (§5.1 — aborted releases
-	// must be visible, not silent).
+	// or commit-delivery timeout, protocol error, post-commit undo). The
+	// server has already rolled back: its dup'd FDs are closed or
+	// re-armed, the instance is serving, and it keeps accepting further
+	// hand-off attempts. The callback is the abort's observability hook
+	// (§5.1 — aborted releases must be visible, not silent).
 	OnHandoffError func(error)
 	// HandshakeTimeout bounds each hand-off; zero means the default.
 	HandshakeTimeout time.Duration
+	// ReadyTimeout bounds the post-commit wait for the receiver's READY
+	// frame; zero means DefaultReadyTimeout. On expiry the hand-off is
+	// undone exactly as if the receiver had crashed.
+	ReadyTimeout time.Duration
 	// Tracer, if non-nil, records the sender-side view of every hand-off
 	// attempt: a "takeover.serve" root span with a "takeover.prepare"
 	// child (through commit delivery) and — only on committed hand-offs —
-	// a "takeover.commit" child covering the drain cut-over. An aborted
-	// attempt therefore shows a failed takeover.prepare and no
-	// takeover.commit.
+	// a "takeover.commit" child covering the drain cut-over. A
+	// ProtoDrainUndo hand-off adds a "takeover.ready" child for the lease
+	// window and, if the lease breaks, a "takeover.undo" child carrying
+	// the retained-FD count. An aborted attempt therefore shows a failed
+	// takeover.prepare and no takeover.commit.
 	Tracer *obs.Tracer
 	// Proto forces the offered protocol revision (compat testing); zero
-	// means ProtoTwoPhase.
+	// means ProtoDrainUndo when OnUndo is set, ProtoTwoPhase otherwise.
 	Proto int
 
 	mu sync.Mutex
 	ul *net.UnixListener
+}
+
+func (s *Server) offeredProto() int {
+	if s.Proto != 0 {
+		return s.Proto
+	}
+	if s.OnUndo != nil {
+		return ProtoDrainUndo
+	}
+	return ProtoTwoPhase
+}
+
+func (s *Server) readyTimeout() time.Duration {
+	if s.ReadyTimeout > 0 {
+		return s.ReadyTimeout
+	}
+	return DefaultReadyTimeout
+}
+
+// awaitReady blocks until the receiver's READY frame arrives or the lease
+// breaks (read error, EOF, timeout, unexpected frame).
+func awaitReady(conn *net.UnixConn, timeout time.Duration) error {
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	kind, _, stray, err := readFrame(conn)
+	closeFDs(stray)
+	switch {
+	case err != nil:
+		return fmt.Errorf("takeover: waiting for ready: %w", err)
+	case kind != msgReady:
+		return fmt.Errorf("takeover: expected ready, got frame kind %d", kind)
+	}
+	return nil
 }
 
 // ListenAndServe binds the pre-specified UNIX path and serves hand-offs
@@ -953,13 +1281,13 @@ func (s *Server) ListenAndServe(path string) error {
 			meta[k] = v
 		}
 		meta[metaDrainNotify] = "1"
-		sp := s.Tracer.StartSpan("takeover.serve", obs.SpanContext{})
+		sp := s.Tracer.StartSpan(obs.SpanTakeoverServe, obs.SpanContext{})
 		sp.SetAttr("path", path)
-		res, err := HandoffWith(conn, s.Set, HandoffOptions{
+		res, err := Handoff(conn, s.Set, HandoffOptions{
 			Meta:    meta,
 			Timeout: s.HandshakeTimeout,
-			Parent:  sp,
-			Proto:   s.Proto,
+			Trace:   sp,
+			Proto:   s.offeredProto(),
 		})
 		if err != nil {
 			conn.Close()
@@ -972,27 +1300,110 @@ func (s *Server) ListenAndServe(path string) error {
 			}
 			continue
 		}
-		// Committed: from here on the hand-off cannot roll back — this
-		// instance stops accepting and drains. A failure past this point
-		// is the caller's RestartFresh territory, never a silent retry.
-		spCommit := sp.StartChild("takeover.commit")
+		// Committed: this instance stops accepting and drains.
+		spCommit := sp.StartChild(obs.SpanTakeoverCommit)
 		spCommit.SetAttr("side", "sender")
 		spCommit.SetAttr("proto", strconv.Itoa(res.Proto))
 		if s.OnDrainStart != nil {
 			s.OnDrainStart(*res)
 		}
-		// End the spans before the drain-started confirmation goes out: the
-		// frame releases the receiver, and a release report assembled right
-		// after must not catch this trace still in flight.
 		spCommit.End()
-		sp.End()
-		// Step E confirmation: accepting has stopped and draining has
-		// begun. Best-effort — a receiver that doesn't wait (bare
-		// Receive) has already hung up.
-		conn.SetDeadline(time.Now().Add(time.Second))
-		writeFrame(conn, msgDrainStarted, nil, nil)
+
+		if res.Retained == nil {
+			// v1/v2 peer: the commit is final — a failure past this point
+			// is the caller's RestartFresh territory, never a silent
+			// retry. End the spans before the drain-started confirmation
+			// goes out: the frame releases the receiver, and a release
+			// report assembled right after must not catch this trace
+			// still in flight. The confirmation itself is best-effort — a
+			// receiver that doesn't wait (bare Receive) has already hung
+			// up.
+			sp.End()
+			conn.SetDeadline(time.Now().Add(time.Second))
+			writeFrame(conn, msgDrainStarted, nil, nil)
+			conn.Close()
+			return nil
+		}
+
+		// ProtoDrainUndo: the commit is fenced by a liveness lease. Hold
+		// the session open until the receiver's READY frame proves it is
+		// serving, then release the lease by delivering the drain-start
+		// confirmation. Either half failing rolls the hand-off back: the
+		// receiver steps down (it treats a missing confirmation as undo)
+		// and this instance re-arms from the retained dups.
+		spReady := sp.StartChild(obs.SpanTakeoverReady)
+		spReady.SetAttr("side", "sender")
+		spansOpen := true
+		cause := awaitReady(conn, s.readyTimeout())
+		if cause == nil {
+			if s.OnReady != nil {
+				s.OnReady(*res)
+			}
+			// Same discipline as the v2 path: close the trace before the
+			// confirmation releases the receiver.
+			spReady.End()
+			sp.End()
+			spansOpen = false
+			conn.SetDeadline(time.Now().Add(time.Second))
+			if werr := writeFrame(conn, msgDrainStarted, nil, nil); werr != nil {
+				cause = fmt.Errorf("takeover: delivering drain-start: %w", werr)
+			}
+		} else {
+			spReady.Fail(cause)
+			spReady.End()
+		}
+		if cause == nil {
+			res.Retained.Close()
+			conn.Close()
+			return nil
+		}
 		conn.Close()
-		return nil
+
+		// Undo: re-arm from the retained dups and resume serving. The
+		// kernel sockets were alive (and queuing SYNs) the whole time.
+		var spUndo *obs.Span
+		if spansOpen {
+			spUndo = sp.StartChild(obs.SpanTakeoverUndo)
+		} else {
+			spUndo = s.Tracer.StartSpan(obs.SpanTakeoverUndo, obs.SpanContext{})
+		}
+		spUndo.SetAttr("retained_fds", strconv.Itoa(res.Retained.Len()))
+		spUndo.SetAttr("cause", cause.Error())
+		rearmed, rerr := res.Retained.Rearm()
+		if rerr != nil {
+			// No way back: this instance is draining and its listeners
+			// cannot be restored — the one edge left for RestartFresh.
+			err := fmt.Errorf("takeover: drain-undo failed, RestartFresh required: %w (lease: %v)", rerr, cause)
+			spUndo.Fail(err)
+			spUndo.End()
+			if spansOpen {
+				sp.Fail(err)
+				sp.End()
+			}
+			if s.OnHandoffError != nil {
+				s.OnHandoffError(err)
+			}
+			return err
+		}
+		if s.OnUndo != nil {
+			s.OnUndo(rearmed, cause)
+		} else {
+			// Nobody to hand the re-armed set to (forced Proto without a
+			// callback): the server's own handles in s.Set are still
+			// open, so just drop the dups.
+			rearmed.Close()
+		}
+		spUndo.End()
+		undone := undoneErr(cause)
+		if spansOpen {
+			sp.Fail(undone)
+			sp.End()
+		}
+		if s.OnHandoffError != nil {
+			s.OnHandoffError(undone)
+		}
+		// Un-drained: this instance is fully in charge again; keep
+		// serving hand-offs so a redeploy can retry.
 	}
 }
 
@@ -1018,51 +1429,45 @@ var DefaultConnectBackoff = faults.Backoff{
 	Attempts: 8,
 }
 
+// ConnectOptions configures Connect: the dial-retry policy plus the
+// embedded receive options (Timeout bounds both the overall dial budget
+// and each protocol exchange).
+type ConnectOptions struct {
+	// Backoff paces dial retries; the zero value means
+	// DefaultConnectBackoff.
+	Backoff faults.Backoff
+	ReceiveOptions
+}
+
 // Connect dials the old instance's takeover server at path and receives
-// the socket set (steps B–D, receiver side). Dial failures are retried
-// with DefaultConnectBackoff until timeout; protocol failures behind a
-// successful dial are not retried (the sender rolled back — a blind
-// retry would race its abort handling).
-func Connect(path string, timeout time.Duration) (*ListenerSet, *Result, error) {
-	return ConnectBackoff(path, timeout, DefaultConnectBackoff)
-}
-
-// ConnectBackoff is Connect with an explicit dial-retry policy.
-func ConnectBackoff(path string, timeout time.Duration, bo faults.Backoff) (*ListenerSet, *Result, error) {
-	return ConnectTraced(path, timeout, bo, nil)
-}
-
-// ConnectTraced is ConnectBackoff with Fig. 5 step spans recorded as
-// children of parent: takeover.step.A covers the dial (one span per
-// attempt when dials are retried), and the receive side records the
-// remaining steps (see ReceiveOptions.Parent).
-func ConnectTraced(path string, timeout time.Duration, bo faults.Backoff, parent *obs.Span) (*ListenerSet, *Result, error) {
-	return ConnectWith(path, timeout, bo, ReceiveOptions{Parent: parent})
-}
-
-// ConnectWith is ConnectBackoff with explicit receive options (arming
-// callbacks, tracing). Only dial failures are retried; protocol failures
-// behind a successful dial — including pre-commit aborts — are returned
-// to the caller, preserving their ErrAborted classification so the
+// the socket set (steps A–F, receiver side). It is the canonical
+// dial-and-receive entry point; the ConnectBackoff/ConnectTraced/
+// ConnectWith names are deprecated wrappers around it.
+//
+// Dial failures are retried per opts.Backoff until opts.Timeout; protocol
+// failures behind a successful dial are not retried (the sender rolled
+// back — a blind retry would race its abort handling) and are returned
+// with their ErrAborted/ErrUndone classification intact so the
 // orchestrator can decide between retrying with a fresh receiver and
 // giving up.
-func ConnectWith(path string, timeout time.Duration, bo faults.Backoff, opts ReceiveOptions) (*ListenerSet, *Result, error) {
-	if timeout <= 0 {
-		timeout = DefaultHandshakeTimeout
-	}
+func Connect(path string, opts ConnectOptions) (*ListenerSet, *Result, error) {
 	if opts.Timeout <= 0 {
-		opts.Timeout = timeout
+		opts.Timeout = DefaultHandshakeTimeout
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	bo := opts.Backoff
+	if bo == (faults.Backoff{}) {
+		bo = DefaultConnectBackoff
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
 	defer cancel()
 	var (
 		set *ListenerSet
 		res *Result
 	)
 	err := bo.Retry(ctx, func() error {
-		spA := opts.Parent.StartChild("takeover.step.A")
+		spA := opts.Trace.StartChild(obs.SpanTakeoverStepA)
 		spA.SetAttr("path", path)
-		d := net.Dialer{Timeout: timeout}
+		d := net.Dialer{Timeout: opts.Timeout}
 		c, err := d.DialContext(ctx, "unix", path)
 		if err != nil {
 			err = fmt.Errorf("takeover: connect %s: %w", path, err)
@@ -1073,7 +1478,7 @@ func ConnectWith(path string, timeout time.Duration, bo faults.Backoff, opts Rec
 		spA.End()
 		conn := c.(*net.UnixConn)
 		defer conn.Close()
-		s, r, err := ReceiveWith(conn, opts)
+		s, r, err := Receive(conn, opts.ReceiveOptions)
 		if err != nil {
 			return faults.Permanent(err)
 		}
@@ -1084,6 +1489,26 @@ func ConnectWith(path string, timeout time.Duration, bo faults.Backoff, opts Rec
 		return nil, nil, err
 	}
 	return set, res, nil
+}
+
+// Deprecated: ConnectBackoff is a legacy wrapper; use Connect with
+// ConnectOptions{Backoff, ReceiveOptions: ReceiveOptions{Timeout}}.
+func ConnectBackoff(path string, timeout time.Duration, bo faults.Backoff) (*ListenerSet, *Result, error) {
+	return Connect(path, ConnectOptions{Backoff: bo, ReceiveOptions: ReceiveOptions{Timeout: timeout}})
+}
+
+// Deprecated: ConnectTraced is a legacy wrapper; use Connect with
+// ConnectOptions carrying Trace.
+func ConnectTraced(path string, timeout time.Duration, bo faults.Backoff, parent *obs.Span) (*ListenerSet, *Result, error) {
+	return Connect(path, ConnectOptions{Backoff: bo, ReceiveOptions: ReceiveOptions{Timeout: timeout, Trace: parent}})
+}
+
+// Deprecated: ConnectWith is the pre-consolidation name for Connect.
+func ConnectWith(path string, timeout time.Duration, bo faults.Backoff, opts ReceiveOptions) (*ListenerSet, *Result, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = timeout
+	}
+	return Connect(path, ConnectOptions{Backoff: bo, ReceiveOptions: opts})
 }
 
 func removeStaleSocket(path string) error {

@@ -94,9 +94,9 @@ func TestHandoffEndToEnd(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		sendRes, sendErr = Handoff(a, old, 0)
+		sendRes, sendErr = Handoff(a, old, HandoffOptions{})
 	}()
-	got, recvRes, err := Receive(b, 0)
+	got, recvRes, err := Receive(b, ReceiveOptions{})
 	wg.Wait()
 	if err != nil || sendErr != nil {
 		t.Fatalf("receive err=%v send err=%v", err, sendErr)
@@ -163,8 +163,8 @@ func TestHandoffManyVIPs(t *testing.T) {
 	}
 	old := mustListen(t, vips...)
 	a, b := pair(t)
-	go Handoff(a, old, 0)
-	got, res, err := Receive(b, 0)
+	go Handoff(a, old, HandoffOptions{})
+	got, res, err := Receive(b, ReceiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestReceiveRejectsBadMagic(t *testing.T) {
 		writeFrame(a, msgManifest, payload, nil)
 		readFrame(a) // drain the nack
 	}()
-	_, _, err := Receive(b, time.Second)
+	_, _, err := Receive(b, ReceiveOptions{Timeout: time.Second})
 	if !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("err = %v, want ErrBadMagic", err)
 	}
@@ -200,7 +200,7 @@ func TestReceiveRejectsBadVersion(t *testing.T) {
 		writeFrame(a, msgManifest, payload, nil)
 		readFrame(a)
 	}()
-	_, _, err := Receive(b, time.Second)
+	_, _, err := Receive(b, ReceiveOptions{Timeout: time.Second})
 	if err == nil || errors.Is(err, ErrBadMagic) {
 		t.Fatalf("err = %v, want version error", err)
 	}
@@ -225,7 +225,7 @@ func TestReceiveClosesStrayFDs(t *testing.T) {
 		}
 		readFrame(a)
 	}()
-	got, res, err := Receive(b, time.Second)
+	got, res, err := Receive(b, ReceiveOptions{Timeout: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestReceiveFailsOnMissingFDs(t *testing.T) {
 		}
 		handErr <- nil
 	}()
-	_, _, err := Receive(b, time.Second)
+	_, _, err := Receive(b, ReceiveOptions{Timeout: time.Second})
 	if err == nil {
 		t.Fatal("expected error for missing fds")
 	}
@@ -279,7 +279,7 @@ func TestHandoffTimeout(t *testing.T) {
 	a, _ := pair(t)
 	// Nobody ever reads on b → ack never arrives → Handoff must time out.
 	start := time.Now()
-	_, err := Handoff(a, set, 200*time.Millisecond)
+	_, err := Handoff(a, set, HandoffOptions{Timeout: 200 * time.Millisecond})
 	if err == nil {
 		t.Fatal("expected timeout")
 	}
@@ -302,7 +302,7 @@ func TestServerConnect(t *testing.T) {
 	// Wait for the socket file to appear.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, _, err := Connect(path, 500*time.Millisecond); err == nil {
+		if _, _, err := Connect(path, ConnectOptions{ReceiveOptions: ReceiveOptions{Timeout: 500 * time.Millisecond}}); err == nil {
 			break
 		} else if time.Now().After(deadline) {
 			t.Fatalf("connect never succeeded: %v", err)
@@ -384,8 +384,8 @@ func TestTakeoverUnderLoad(t *testing.T) {
 
 	// Restart: hand off to the new instance mid-load.
 	a, b := pair(t)
-	go Handoff(a, old, 0)
-	newSet, _, err := Receive(b, 0)
+	go Handoff(a, old, HandoffOptions{})
+	newSet, _, err := Receive(b, ReceiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +415,7 @@ func TestHandoffMeta(t *testing.T) {
 	set := mustListen(t, VIP{Name: "a", Network: NetworkTCP, Addr: "127.0.0.1:0"})
 	a, b := pair(t)
 	go HandoffMeta(a, set, map[string]string{"quic-forward": "127.0.0.1:9999"}, 0)
-	got, res, err := Receive(b, 0)
+	got, res, err := Receive(b, ReceiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,8 +429,8 @@ func TestHandoffMeta(t *testing.T) {
 func TestHandoffNilMeta(t *testing.T) {
 	set := mustListen(t, VIP{Name: "a", Network: NetworkTCP, Addr: "127.0.0.1:0"})
 	a, b := pair(t)
-	go Handoff(a, set, 0)
-	got, res, err := Receive(b, 0)
+	go Handoff(a, set, HandoffOptions{})
+	got, res, err := Receive(b, ReceiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,10 +473,10 @@ func TestHandoffVeryManyVIPs(t *testing.T) {
 	a, b := pair(t)
 	handErr := make(chan error, 1)
 	go func() {
-		_, err := Handoff(a, old, 10*time.Second)
+		_, err := Handoff(a, old, HandoffOptions{Timeout: 10 * time.Second})
 		handErr <- err
 	}()
-	got, res, err := Receive(b, 10*time.Second)
+	got, res, err := Receive(b, ReceiveOptions{Timeout: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
