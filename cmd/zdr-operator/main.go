@@ -1,0 +1,346 @@
+// Command zdr-operator runs the fleet release control plane against a
+// simulated fleet of in-process Edge proxies (real sockets, real Socket
+// Takeover hand-offs). It drives a canary-first, health-gated rollout:
+// the canary batch restarts into its drain-undo window, serves live
+// traffic while the gate watches counters and probes, and is promoted or
+// rolled back batch by batch.
+//
+// The rollout is observable and steerable while it runs:
+//
+//	/debug/rollout   orchestrator status (batches, verdicts, gate outcome)
+//	/debug/fleet     per-node slot state (generation, phase, undo counts)
+//	SIGUSR1          resume a paused rollout (re-drive remaining nodes)
+//	SIGUSR2          abort a paused rollout
+//	SIGINT/SIGTERM   kill the operator mid-rollout (no terminal journal
+//	                 record — restart with -resume to recover)
+//
+// Examples:
+//
+//	zdr-operator -nodes 24 -canary 2 -journal /tmp/rollout.jsonl -admin 127.0.0.1:9800
+//	zdr-operator -nodes 24 -bad                  # watch the gate refuse a broken build
+//	zdr-operator -journal /tmp/rollout.jsonl -resume   # recover a killed operator
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"zdr/internal/core"
+	"zdr/internal/fleet"
+	"zdr/internal/http1"
+	"zdr/internal/metrics"
+	"zdr/internal/obs"
+	"zdr/internal/proxy"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 12, "simulated fleet size")
+	canary := flag.Int("canary", 1, "canary batch size")
+	growth := flag.Int("growth", 2, "batch growth factor after each promoted batch")
+	maxBatch := flag.Int("max-batch", 0, "batch size cap (0 = uncapped)")
+	healthWindow := flag.Duration("health-window", 2*time.Second, "post-commit observation window per batch")
+	probeInterval := flag.Duration("probe-interval", 50*time.Millisecond, "orchestrator probe pacing")
+	windowTimeout := flag.Duration("window-timeout", 10*time.Second, "bound on a node reaching its canary window")
+	batchDelay := flag.Duration("batch-delay", 0, "pause between promoted batches")
+	maxHold := flag.Duration("max-hold", 30*time.Second, "node-side window bound before self-rollback")
+	journalPath := flag.String("journal", "", "rollout write-ahead log path (empty = unjournaled)")
+	resume := flag.Bool("resume", false, "recover the journal and resume the interrupted rollout")
+	admin := flag.String("admin", "", "admin endpoint bind address (/debug/rollout, /debug/fleet); empty disables")
+	bad := flag.Bool("bad", false, "ship a broken build (every request 503s) to exercise the gate")
+	ungated := flag.Bool("ungated", false, "disable canary windows and gating (the pre-gate release process)")
+	load := flag.Bool("load", true, "drive continuous client load at every node")
+	name := flag.String("name", "rollout", "rollout name (journal attribution, fence ownership)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "zdr-operator-")
+	if err != nil {
+		fatal("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	sims := make([]*simNode, *nodes)
+	for i := range sims {
+		s, err := newSimNode(dir, i, *maxHold, *ungated)
+		if err != nil {
+			fatal("node %d: %v", i, err)
+		}
+		defer s.slot.Close()
+		sims[i] = s
+	}
+	fmt.Printf("zdr-operator: %d-node fleet up (generation 1 serving)\n", len(sims))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	if *load {
+		for _, s := range sims {
+			wg.Add(1)
+			go s.hammer(stop, &wg)
+		}
+		time.Sleep(200 * time.Millisecond) // error-free baseline history
+	}
+
+	// Ship the build: flipping `good` changes what the NEXT generation
+	// serves, exactly like pushing a release artifact.
+	if *bad {
+		for _, s := range sims {
+			s.good.Store(false)
+		}
+		fmt.Println("zdr-operator: shipping a BAD build — the gate should refuse it")
+	}
+
+	cfg := fleet.Config{
+		Name:          *name,
+		CanarySize:    *canary,
+		GrowthFactor:  *growth,
+		MaxBatchSize:  *maxBatch,
+		HealthWindow:  *healthWindow,
+		ProbeInterval: *probeInterval,
+		WindowTimeout: *windowTimeout,
+		BatchDelay:    *batchDelay,
+		Ungated:       *ungated,
+		Trace:         obs.NewTracer("zdr-operator"),
+		Fence:         fleet.NewFence(),
+	}
+	if *journalPath != "" {
+		if *resume {
+			recs, err := fleet.Replay(*journalPath)
+			if err != nil {
+				fatal("journal replay: %v", err)
+			}
+			prog := fleet.Recover(recs)
+			if prog.Rollout != "" {
+				cfg.Resume = &prog
+				fmt.Printf("zdr-operator: recovered rollout %q — %d promoted, %d in flight, %d rolled back\n",
+					prog.Rollout, len(prog.Promoted), len(prog.InFlight), len(prog.RolledBack))
+			}
+		}
+		j, err := fleet.OpenJournal(*journalPath)
+		if err != nil {
+			fatal("journal: %v", err)
+		}
+		defer j.Close()
+		cfg.Journal = j
+	}
+
+	fnodes := make([]*fleet.Node, len(sims))
+	for i, s := range sims {
+		fnodes[i] = s.node
+	}
+	o, err := fleet.New(cfg, fnodes)
+	if err != nil {
+		fatal("orchestrator: %v", err)
+	}
+
+	if *admin != "" {
+		a := &obs.Admin{
+			Service: "zdr-operator",
+			Tracer:  cfg.Trace,
+			Debug: map[string]func() any{
+				"rollout": func() any { return o.Status() },
+				"fleet": func() any {
+					states := make([]obs.SlotState, len(sims))
+					for i, s := range sims {
+						states[i] = s.slot.State()
+					}
+					return states
+				},
+			},
+		}
+		srv, err := a.Start(*admin)
+		if err != nil {
+			fatal("admin listener: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("zdr-operator: admin on http://%s (/debug/rollout, /debug/fleet)\n", srv.Addr())
+	}
+
+	// SIGUSR1/SIGUSR2 steer a paused rollout; SIGINT/SIGTERM kill the
+	// operator without a terminal journal record (restart with -resume).
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGUSR2)
+	go func() {
+		for s := range sig {
+			switch s {
+			case syscall.SIGUSR1:
+				fmt.Println("zdr-operator: resume requested")
+				if err := o.Decide(true); err != nil {
+					fmt.Printf("zdr-operator: resume: %v\n", err)
+				}
+			case syscall.SIGUSR2:
+				fmt.Println("zdr-operator: abort requested")
+				if err := o.Decide(false); err != nil {
+					fmt.Printf("zdr-operator: abort: %v\n", err)
+				}
+			default:
+				fmt.Println("zdr-operator: killed mid-rollout (journal keeps the resume point)")
+				o.Close()
+				return
+			}
+		}
+	}()
+
+	// Surface pauses as they happen so an operator at a terminal knows to
+	// inspect /debug/rollout and signal a decision.
+	pauseWatch := make(chan struct{})
+	go func() {
+		last := ""
+		for {
+			select {
+			case <-pauseWatch:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			st := o.Status()
+			if st.State == fleet.StatePaused && st.Reason != last {
+				last = st.Reason
+				fmt.Printf("zdr-operator: PAUSED — %s\n", st.Reason)
+				fmt.Println("zdr-operator: SIGUSR1 resumes, SIGUSR2 aborts")
+			}
+		}
+	}()
+
+	runErr := o.Run()
+	close(pauseWatch)
+	close(stop)
+	wg.Wait()
+
+	st := o.Status()
+	fmt.Printf("zdr-operator: rollout %q finished: state=%s", cfg.Name, st.State)
+	if st.Reason != "" {
+		fmt.Printf(" (%s)", st.Reason)
+	}
+	fmt.Println()
+	promoted, rolledBack := 0, 0
+	for _, n := range st.Nodes {
+		if n.Promoted {
+			promoted++
+		}
+		if n.RolledBack {
+			rolledBack++
+		}
+	}
+	var ok, serverErr, transport int64
+	for _, s := range sims {
+		ok += s.ok.Load()
+		serverErr += s.serverErr.Load()
+		transport += s.transport.Load()
+	}
+	fmt.Printf("zdr-operator: %d promoted, %d rolled back; client load: %d ok, %d server errors, %d transport failures\n",
+		promoted, rolledBack, ok, serverErr, transport)
+	if runErr != nil {
+		fatal("rollout: %v", runErr)
+	}
+}
+
+// simNode is one fleet member: a real Edge ProxySlot whose generations
+// share a metrics registry and install the node's canary window as their
+// readiness gate (see internal/fleet's chaos tests for the same shape).
+type simNode struct {
+	name string
+	slot *core.ProxySlot
+	reg  *metrics.Registry
+	win  *fleet.CanaryWindow
+	node *fleet.Node
+	good atomic.Bool
+	// webAddr is captured once after Start: the VIP address survives
+	// takeovers, and querying the slot mid-hand-off is racy.
+	webAddr string
+
+	ok        atomic.Int64
+	serverErr atomic.Int64
+	transport atomic.Int64
+}
+
+func newSimNode(dir string, i int, maxHold time.Duration, ungated bool) (*simNode, error) {
+	name := fmt.Sprintf("edge-%02d", i)
+	s := &simNode{name: name, reg: metrics.NewRegistry()}
+	if !ungated {
+		s.win = fleet.NewCanaryWindow(maxHold)
+	}
+	s.good.Store(true)
+	gen := 0
+	s.slot = &core.ProxySlot{
+		SlotName:  name,
+		Path:      filepath.Join(dir, name+".sock"),
+		DrainWait: 50 * time.Millisecond,
+		Build: func() *proxy.Proxy {
+			gen++
+			cfg := proxy.Config{
+				Name:                 fmt.Sprintf("%s-g%d", name, gen),
+				Role:                 proxy.RoleEdge,
+				TakeoverReadyTimeout: maxHold + 30*time.Second,
+			}
+			if s.win != nil {
+				cfg.ReadyGate = s.win.Gate
+			}
+			if s.good.Load() {
+				cfg.StaticContent = map[string][]byte{"/hello": []byte("hello from " + name + "\n")}
+			}
+			return proxy.New(cfg, s.reg)
+		},
+	}
+	if err := s.slot.Start(); err != nil {
+		return nil, err
+	}
+	s.webAddr = s.slot.Current().Addr(proxy.VIPWeb)
+	s.node = fleet.ProxyNode(fmt.Sprintf("vip-%02d", i), s.slot, s.reg, func() string { return s.webAddr }, "/hello", s.win)
+	return s, nil
+}
+
+// hammer drives continuous GETs at the node until stop closes, counting
+// transport failures (what zero-downtime release must keep at zero)
+// separately from server errors (what a bad build produces).
+func (s *simNode) hammer(stop chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		code, err := getHello(s.webAddr)
+		switch {
+		case err != nil:
+			s.transport.Add(1)
+		case code == 200:
+			s.ok.Add(1)
+		default:
+			s.serverErr.Add(1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func getHello(addr string) (int, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", "/hello", nil, 0)); err != nil {
+		return 0, err
+	}
+	resp, err := http1.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := http1.ReadFullBody(resp.Body); err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

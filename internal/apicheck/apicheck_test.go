@@ -35,6 +35,7 @@ var surfacePackages = []struct{ importPath, dir string }{
 	{"zdr/internal/core", "../core"},
 	{"zdr/internal/netx", "../netx"},
 	{"zdr/internal/takeover", "../takeover"},
+	{"zdr/internal/fleet", "../fleet"},
 }
 
 func TestAPISurface(t *testing.T) {

@@ -70,6 +70,14 @@ type Config struct {
 	// within a batch stagger in practice. Defaults 0.10 / 60 s.
 	TakeoverSpike      float64
 	TakeoverSpikeDecay time.Duration
+	// CanarySize, when > 0, stages the release canary-first the way the
+	// fleet orchestrator (internal/fleet) plans batches: the first batch
+	// has CanarySize machines and each next one grows by BatchGrowth,
+	// capped at BatchFraction of the fleet. 0 keeps the classic fixed
+	// BatchFraction batches.
+	CanarySize int
+	// BatchGrowth is the canary-first growth factor. Default 2.
+	BatchGrowth int
 	// Tick is the simulation step. Default 10 s.
 	Tick time.Duration
 	// Seed drives the PRNG. Default 1.
@@ -99,6 +107,9 @@ func (c *Config) fill() {
 	}
 	if c.TakeoverSpikeDecay <= 0 {
 		c.TakeoverSpikeDecay = time.Minute
+	}
+	if c.BatchGrowth < 2 {
+		c.BatchGrowth = 2
 	}
 	if c.Tick <= 0 {
 		c.Tick = 10 * time.Second
@@ -170,9 +181,18 @@ func RunRelease(cfg Config) ReleaseResult {
 	n := cfg.Machines
 	machines := make([]machine, n)
 
-	batch := int(float64(n) * cfg.BatchFraction)
-	if batch < 1 {
-		batch = 1
+	maxBatch := int(float64(n) * cfg.BatchFraction)
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	// Canary-first staging ramps the batch size toward the cap; classic
+	// releases run at the cap from the first batch.
+	batch := maxBatch
+	if cfg.CanarySize > 0 {
+		batch = cfg.CanarySize
+		if batch > maxBatch {
+			batch = maxBatch
+		}
 	}
 
 	res := ReleaseResult{Config: cfg, MinCapacityFraction: 1, MinIdleCPUFraction: 1}
@@ -203,6 +223,12 @@ func RunRelease(cfg Config) ReleaseResult {
 			next++
 		}
 		batchStart = now
+		if cfg.CanarySize > 0 && batch < maxBatch {
+			batch *= cfg.BatchGrowth
+			if batch > maxBatch {
+				batch = maxBatch
+			}
+		}
 	}
 	startBatch()
 

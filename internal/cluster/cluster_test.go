@@ -319,3 +319,48 @@ func TestRunDayShape(t *testing.T) {
 		t.Fatalf("release active for %d hours", active)
 	}
 }
+
+// TestCanaryFirstStaging: with CanarySize set, the release follows the
+// fleet orchestrator's batch plan — a small first batch, exponential
+// growth to the BatchFraction cap. The ramp trades completion time for
+// a smaller first-exposure blast radius; capacity behaviour per strategy
+// is unchanged.
+func TestCanaryFirstStaging(t *testing.T) {
+	base := Config{
+		Machines:      100,
+		BatchFraction: 0.2,
+		DrainPeriod:   10 * time.Minute,
+		Strategy:      ZeroDowntime,
+		Tick:          30 * time.Second,
+	}
+	flat := RunRelease(base)
+
+	canary := base
+	canary.CanarySize = 1
+	staged := RunRelease(canary)
+
+	// Batch plan 1,2,4,8,16,20,20,... = 9 batches vs 5 flat ones: the
+	// staged release takes strictly longer.
+	if staged.CompletionTime <= flat.CompletionTime {
+		t.Fatalf("staged completion %v not above flat %v", staged.CompletionTime, flat.CompletionTime)
+	}
+	// Zero-downtime invariants hold regardless of staging.
+	if staged.MinCapacityFraction < 0.999 {
+		t.Fatalf("staged canary release dropped capacity to %v", staged.MinCapacityFraction)
+	}
+	if staged.DisruptedConns != 0 {
+		t.Fatalf("staged zero-downtime release disrupted %d conns", staged.DisruptedConns)
+	}
+
+	// A hard-restart release staged canary-first dips far less at the
+	// start: the first offline batch is one machine, not twenty.
+	hardStaged := canary
+	hardStaged.Strategy = HardRestart
+	hs := RunRelease(hardStaged)
+	if first := hs.Timeline[0].CapacityFraction; first < 0.98 {
+		t.Fatalf("canary batch took %v of the fleet offline, want ~1 machine", 1-first)
+	}
+	if hs.MinCapacityFraction > 0.85 {
+		t.Fatalf("staged hard restart min capacity %v — never reached the 20%% cap", hs.MinCapacityFraction)
+	}
+}

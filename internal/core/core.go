@@ -180,7 +180,10 @@ func (s *ProxySlot) RestartTraced(parent *obs.Span) error {
 }
 
 // setPhase publishes the slot's restart state machine position for
-// State() (""/steady, "handing-off", "committed-awaiting-ready").
+// State() (""/steady, "handing-off", "committed-awaiting-ready",
+// "rolling-back" while a committed hand-off unwinds, and the sticky
+// "rolled-back" after the unwind completes — cleared by the next
+// restart attempt).
 func (s *ProxySlot) setPhase(phase string) {
 	s.mu.Lock()
 	s.phase = phase
@@ -206,17 +209,26 @@ func (s *ProxySlot) restart(sp *obs.Span) error {
 		next = s.Build()
 		s.setPhase("handing-off")
 		_, err := next.TakeoverFromWith(s.Path, proxy.TakeoverOptions{
-			Trace:       sp,
-			OnCommitted: func() { s.setPhase("committed-awaiting-ready") },
+			Trace:         sp,
+			OnCommitted:   func() { s.setPhase("committed-awaiting-ready") },
+			OnRollingBack: func() { s.setPhase("rolling-back") },
 		})
 		if err == nil {
 			break
 		}
-		s.setPhase("")
+		undone := errors.Is(err, takeover.ErrUndone)
+		if undone {
+			// The committed hand-off unwound: the old generation re-armed
+			// from its retained FDs and keeps serving. Leave the sticky
+			// "rolled-back" marker for /debug/release (a paused fleet is
+			// diagnosed per node by this phase) until the next attempt.
+			s.setPhase("rolled-back")
+		} else {
+			s.setPhase("")
+		}
 		// The failed generation is discarded either way; a retried
 		// attempt needs a fresh Build (Adopt refuses reuse).
 		next.Close()
-		undone := errors.Is(err, takeover.ErrUndone)
 		if !undone && !errors.Is(err, takeover.ErrAborted) {
 			// Protocol/config failures (bad magic, rejected manifest,
 			// dial exhaustion): the old generation keeps serving, but a

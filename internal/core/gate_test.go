@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+var (
+	reqKeys = []string{"edge.http.requests", "origin.http.requests"}
+	errKeys = []string{"edge.http.errors.no_origin", "edge.http.errors.upstream"}
+)
+
+func assertFinite(t *testing.T, d HealthDelta) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"ErrorRate":         d.ErrorRate,
+		"BaselineErrorRate": d.BaselineErrorRate,
+		"ErrorRateDelta":    d.ErrorRateDelta,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s is not finite: %v (delta %+v)", name, v, d)
+		}
+	}
+}
+
+// TestHealthDeltaZeroRequestWindow pins the division-by-zero guard: a
+// canary node that saw no traffic during the window must yield a finite,
+// Inconclusive delta — never NaN, which compares false against every
+// threshold and would silently pass the gate.
+func TestHealthDeltaZeroRequestWindow(t *testing.T) {
+	before := map[string]int64{"edge.http.requests": 100, "edge.http.errors.upstream": 2}
+	after := map[string]int64{"edge.http.requests": 100, "edge.http.errors.upstream": 2}
+	d := HealthDeltaBetween(before, after, reqKeys, errKeys)
+	assertFinite(t, d)
+	if !d.Inconclusive {
+		t.Fatalf("zero-request window must be inconclusive: %+v", d)
+	}
+	if d.Requests != 0 || d.Errors != 0 || d.ErrorRate != 0 || d.ErrorRateDelta != 0 {
+		t.Fatalf("zero-request window must zero the window fields: %+v", d)
+	}
+	if d.BaselineRequests != 100 || d.BaselineErrorRate != 0.02 {
+		t.Fatalf("baseline mis-summed: %+v", d)
+	}
+}
+
+// TestHealthDeltaZeroBaseline covers the other division: a node whose
+// pre-release history is empty (fresh counters) must not NaN the baseline
+// rate or the delta.
+func TestHealthDeltaZeroBaseline(t *testing.T) {
+	before := map[string]int64{}
+	after := map[string]int64{"edge.http.requests": 50, "edge.http.errors.upstream": 5}
+	d := HealthDeltaBetween(before, after, reqKeys, errKeys)
+	assertFinite(t, d)
+	if d.Inconclusive {
+		t.Fatalf("50-request window is conclusive: %+v", d)
+	}
+	if d.ErrorRate != 0.1 || d.BaselineErrorRate != 0 || d.ErrorRateDelta != 0.1 {
+		t.Fatalf("rates wrong: %+v", d)
+	}
+}
+
+// TestHealthDeltaErrorsWithoutRequests is the pathological corner: error
+// counters moved but no request counter did (e.g. probe failures counted
+// out-of-band). The window stays inconclusive and finite instead of
+// reporting an infinite error rate.
+func TestHealthDeltaErrorsWithoutRequests(t *testing.T) {
+	before := map[string]int64{"edge.http.errors.upstream": 0}
+	after := map[string]int64{"edge.http.errors.upstream": 7}
+	d := HealthDeltaBetween(before, after, reqKeys, errKeys)
+	assertFinite(t, d)
+	if !d.Inconclusive {
+		t.Fatalf("no requests -> inconclusive, got %+v", d)
+	}
+	if d.Errors != 7 {
+		t.Fatalf("window errors = %d, want 7", d.Errors)
+	}
+}
+
+// TestHealthDeltaCounterReset: a per-key negative delta (counter reset
+// between snapshots, e.g. a registry swap) is clamped to zero instead of
+// dragging the sums negative.
+func TestHealthDeltaCounterReset(t *testing.T) {
+	before := map[string]int64{"edge.http.requests": 100, "origin.http.requests": 40}
+	after := map[string]int64{"edge.http.requests": 10, "origin.http.requests": 70}
+	d := HealthDeltaBetween(before, after, reqKeys, errKeys)
+	assertFinite(t, d)
+	if d.Requests != 30 {
+		t.Fatalf("reset key must clamp to zero: requests = %d, want 30", d.Requests)
+	}
+}
+
+// TestHealthDeltaNormal is the ordinary case the gate exists for: a bad
+// canary pushing the window error rate above baseline.
+func TestHealthDeltaNormal(t *testing.T) {
+	before := map[string]int64{"edge.http.requests": 1000, "edge.http.errors.upstream": 10}
+	after := map[string]int64{"edge.http.requests": 1200, "edge.http.errors.upstream": 60}
+	d := HealthDeltaBetween(before, after, reqKeys, errKeys)
+	assertFinite(t, d)
+	if d.Requests != 200 || d.Errors != 50 {
+		t.Fatalf("window deltas wrong: %+v", d)
+	}
+	if d.ErrorRate != 0.25 || d.BaselineErrorRate != 0.01 {
+		t.Fatalf("rates wrong: %+v", d)
+	}
+	if got, want := d.ErrorRateDelta, 0.24; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("delta = %v, want %v", got, want)
+	}
+}
+
+// TestReleaseReportHealthDelta wires the helper through the report's own
+// snapshots, including the nil-map zero value a FailFast abort can leave.
+func TestReleaseReportHealthDelta(t *testing.T) {
+	rr := &ReleaseReport{
+		CountersBefore: map[string]int64{"edge.http.requests": 10},
+		CountersAfter:  map[string]int64{"edge.http.requests": 30, "edge.http.errors.no_origin": 4},
+	}
+	d := rr.HealthDelta(reqKeys, errKeys)
+	assertFinite(t, d)
+	if d.Requests != 20 || d.Errors != 4 || d.ErrorRate != 0.2 {
+		t.Fatalf("report delta wrong: %+v", d)
+	}
+
+	empty := &ReleaseReport{}
+	d = empty.HealthDelta(reqKeys, errKeys)
+	assertFinite(t, d)
+	if !d.Inconclusive {
+		t.Fatalf("empty report must be inconclusive: %+v", d)
+	}
+}

@@ -113,6 +113,7 @@ func All() []Experiment {
 		{"T-B", TblHeadlineBenefits},
 		{"T-C", TblPeakHourRelease},
 		{"T-D", TblReleasePhases},
+		{"T-E", TblFleetRollout},
 	}
 }
 

@@ -51,6 +51,11 @@ const (
 	OpDropPacket
 	// OpFailDial fails a dial before any connection is made.
 	OpFailDial
+	// OpDropRPC fails one control-plane call (Injector.RPC) outright —
+	// the operator↔node analogue of a lost request.
+	OpDropRPC
+	// OpDelayRPC delays one control-plane call before it proceeds.
+	OpDelayRPC
 
 	opCount
 )
@@ -72,6 +77,10 @@ func (o Op) String() string {
 		return "drop-packet"
 	case OpFailDial:
 		return "fail-dial"
+	case OpDropRPC:
+		return "drop-rpc"
+	case OpDelayRPC:
+		return "delay-rpc"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -116,6 +125,14 @@ type Scenario struct {
 	BandwidthBytesPerSec float64
 	BandwidthBurstBytes  int
 
+	// Control-plane faults, applied per Injector.RPC call (the
+	// operator↔node channel, distinct from the data-plane conns above).
+	// Fleet chaos tests use these to degrade — and, together with
+	// Injector.SetPartitioned, sever — the control plane mid-batch.
+	RPCDropRate  float64       // probability a control call fails outright
+	RPCDelayRate float64       // probability a control call is delayed
+	RPCDelayMax  time.Duration // upper bound for an injected RPC delay
+
 	// Datagram faults.
 	DropRate float64 // probability a datagram is dropped (each direction)
 
@@ -134,6 +151,8 @@ type Plan struct {
 	Conn      uint64 // connection index the plan was derived for
 	DialFail  bool
 	DialDelay time.Duration
+	RPCDrop   bool          // the call this plan is consumed by fails
+	RPCDelay  time.Duration // delay before the call proceeds
 	Reads     []Step
 	Writes    []Step
 	Drops     []bool
@@ -144,6 +163,9 @@ type Plan struct {
 func (p Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "conn %d dialfail=%v dialdelay=%s\n", p.Conn, p.DialFail, p.DialDelay)
+	if p.RPCDrop || p.RPCDelay > 0 {
+		fmt.Fprintf(&b, "  rpc drop=%v delay=%s\n", p.RPCDrop, p.RPCDelay)
+	}
 	for i, s := range p.Reads {
 		if s.Op != OpNone {
 			fmt.Fprintf(&b, "  r[%d] %s delay=%s\n", i, s.Op, s.Delay)
@@ -193,6 +215,10 @@ func (s Scenario) Plan(conn uint64) Plan {
 	if s.DialDelayRate > 0 && rng.Float64() < s.DialDelayRate {
 		pl.DialDelay = randDur(rng, s.DialDelayMax)
 	}
+	pl.RPCDrop = s.RPCDropRate > 0 && rng.Float64() < s.RPCDropRate
+	if s.RPCDelayRate > 0 && rng.Float64() < s.RPCDelayRate {
+		pl.RPCDelay = randDur(rng, s.RPCDelayMax)
+	}
 	if s.ReadStallRate > 0 || s.AbortRate > 0 {
 		pl.Reads = make([]Step, maxOps)
 		for i := range pl.Reads {
@@ -233,9 +259,10 @@ var ErrInjected = errors.New("faults: injected")
 // Injector assigns consecutive connection indices to the connections it
 // wraps and applies each one's Plan. A nil *Injector is a valid no-op.
 type Injector struct {
-	sc     Scenario
-	next   atomic.Uint64
-	counts [opCount]atomic.Uint64
+	sc          Scenario
+	next        atomic.Uint64
+	counts      [opCount]atomic.Uint64
+	partitioned atomic.Bool
 }
 
 // NewInjector creates an injector for sc.
@@ -307,6 +334,51 @@ func (in *Injector) PacketConn(pc net.PacketConn) net.PacketConn {
 		return pc
 	}
 	return &packetConn{PacketConn: pc, in: in, pl: in.nextPlan()}
+}
+
+// SetPartitioned severs (true) or heals (false) the control plane: while
+// severed, every RPC call fails immediately, modelling a full network
+// partition between the operator and its nodes. Orthogonal to the
+// scheduled RPCDropRate/RPCDelayRate faults, which model a lossy — not
+// absent — channel. Nil-receiver safe (no-op).
+func (in *Injector) SetPartitioned(v bool) {
+	if in != nil {
+		in.partitioned.Store(v)
+	}
+}
+
+// Partitioned reports whether the control plane is currently severed.
+func (in *Injector) Partitioned() bool {
+	return in != nil && in.partitioned.Load()
+}
+
+// RPC applies the next scheduled control-plane fault to one
+// operator↔node call: it sleeps any scheduled delay, then returns an
+// ErrInjected-wrapped error if the call is scheduled to drop (or the
+// injector is partitioned). A nil error means the call may proceed. op
+// names the call in the error for test output. Nil injector never
+// injects.
+func (in *Injector) RPC(op string) error {
+	if in == nil {
+		return nil
+	}
+	if in.partitioned.Load() {
+		in.count(OpDropRPC)
+		return fmt.Errorf("%w rpc %s dropped (partitioned)", ErrInjected, op)
+	}
+	if in.sc.RPCDropRate <= 0 && in.sc.RPCDelayRate <= 0 {
+		return nil
+	}
+	pl := in.nextPlan()
+	if pl.RPCDelay > 0 {
+		in.count(OpDelayRPC)
+		time.Sleep(pl.RPCDelay)
+	}
+	if pl.RPCDrop {
+		in.count(OpDropRPC)
+		return fmt.Errorf("%w rpc %s dropped (conn %d)", ErrInjected, op, pl.Conn)
+	}
+	return nil
 }
 
 // Dial dials like net.DialTimeout through the injector: the next

@@ -1,0 +1,575 @@
+// Fleet chaos: the acceptance scenarios for the release control plane.
+// A 24-node simulated fleet of real Edge proxies (real sockets, real
+// Socket Takeover hand-offs) is rolled out under live HTTP load:
+//
+//   - a bad build fails the canary batch's health gate → the rollout
+//     auto-pauses, the canaries roll back via drain-undo with zero
+//     transport-level client failures, and every other node never
+//     leaves the old generation;
+//   - the operator is killed mid-batch → abandoned canaries self-roll-
+//     back via MaxHold, and a second operator resumes from the journal
+//     and converges to the same terminal state as an uninterrupted run;
+//   - the operator↔node control channel is partitioned mid-window → the
+//     verdict is lost, the canary reclaims itself, the data plane never
+//     drops a request.
+package fleet_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zdr/internal/core"
+	"zdr/internal/faults"
+	"zdr/internal/fleet"
+	"zdr/internal/http1"
+	"zdr/internal/metrics"
+	"zdr/internal/obs"
+	"zdr/internal/proxy"
+)
+
+// simNode is one fleet member: a real Edge ProxySlot whose generations
+// share a registry (so gate windows bracket restarts) and install the
+// node's canary window as their readiness gate.
+type simNode struct {
+	name string
+	slot *core.ProxySlot
+	reg  *metrics.Registry
+	win  *fleet.CanaryWindow
+	node *fleet.Node
+	good atomic.Bool // whether the NEXT build serves content
+	// webAddr is captured once after Start: the VIP address never
+	// changes across takeovers (the very point of the protocol), and
+	// querying the slot mid-hand-off is racy — the old generation's
+	// listener set empties the moment its FDs transfer.
+	webAddr string
+}
+
+func (s *simNode) addr() string { return s.webAddr }
+
+// newSimFleet builds n Edge nodes. Good builds serve /hello from static
+// content (the DSR path); a bad build omits it AND has no origins, so
+// every request is answered 503 + edge.http.errors.no_origin — counter-
+// visible badness with zero transport failures.
+func newSimFleet(t *testing.T, n int, maxHold time.Duration) []*simNode {
+	t.Helper()
+	dir := t.TempDir()
+	sims := make([]*simNode, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("edge-%02d", i)
+		s := &simNode{name: name, reg: metrics.NewRegistry(), win: fleet.NewCanaryWindow(maxHold)}
+		s.good.Store(true)
+		gen := 0
+		s.slot = &core.ProxySlot{
+			SlotName:  name,
+			Path:      filepath.Join(dir, name+".sock"),
+			DrainWait: 5 * time.Millisecond,
+			Build: func() *proxy.Proxy {
+				gen++
+				cfg := proxy.Config{
+					Name: fmt.Sprintf("%s-g%d", name, gen),
+					Role: proxy.RoleEdge,
+					// The canary window IS the readiness gate: promote
+					// releases READY, rollback triggers drain-undo.
+					ReadyGate: s.win.Gate,
+					// Sender-side lease: must outlast the orchestrator's
+					// observation window plus MaxHold self-rollback.
+					TakeoverReadyTimeout: 20 * time.Second,
+				}
+				if s.good.Load() {
+					cfg.StaticContent = map[string][]byte{"/hello": []byte("hello from " + name)}
+				}
+				return proxy.New(cfg, s.reg)
+			},
+		}
+		if err := s.slot.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.slot.Close)
+		s.webAddr = s.slot.Current().Addr(proxy.VIPWeb)
+		s.node = fleet.ProxyNode(fmt.Sprintf("vip-%02d", i), s.slot, s.reg, s.addr, "/hello", s.win)
+		sims[i] = s
+	}
+	return sims
+}
+
+func fleetNodes(sims []*simNode) []*fleet.Node {
+	out := make([]*fleet.Node, len(sims))
+	for i, s := range sims {
+		out[i] = s.node
+	}
+	return out
+}
+
+// loadCounts separates the two failure classes: transport failures
+// (dial/read/reset — what Zero Downtime Release must keep at zero) and
+// server errors (5xx — what a bad build produces and the gate detects).
+type loadCounts struct {
+	ok        atomic.Int64
+	serverErr atomic.Int64
+	transport atomic.Int64
+	lastErr   atomic.Value
+}
+
+func getHello(addr string) (int, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return 0, fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", "/hello", nil, 0)); err != nil {
+		return 0, fmt.Errorf("write: %w", err)
+	}
+	resp, err := http1.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return 0, fmt.Errorf("read: %w", err)
+	}
+	if _, err := http1.ReadFullBody(resp.Body); err != nil {
+		return 0, fmt.Errorf("body: %w", err)
+	}
+	return resp.StatusCode, nil
+}
+
+// hammer drives continuous GETs at one node until stop closes.
+func hammer(s *simNode, counts *loadCounts, stop chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		code, err := getHello(s.addr())
+		switch {
+		case err != nil:
+			counts.transport.Add(1)
+			counts.lastErr.Store(fmt.Errorf("%s: %w", s.name, err))
+		case code == 200:
+			counts.ok.Add(1)
+		default:
+			counts.serverErr.Add(1)
+		}
+	}
+}
+
+func waitOrchestratorState(t *testing.T, o *fleet.Orchestrator, state string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if o.Status().State == state {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := o.Status()
+	t.Fatalf("orchestrator never reached %q (state %q, reason %q)", state, st.State, st.Reason)
+}
+
+// TestFleetChaosBadCanaryRollsBack is the headline acceptance scenario:
+// a 24-node rollout of a broken build. The canary batch fails its gate,
+// rolls back via drain-undo, the rollout pauses, and nobody else is
+// touched — all under live client load with zero transport failures.
+func TestFleetChaosBadCanaryRollsBack(t *testing.T) {
+	sims := newSimFleet(t, 24, 10*time.Second)
+	perNode := make([]*loadCounts, len(sims))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, s := range sims {
+		perNode[i] = &loadCounts{}
+		wg.Add(1)
+		go hammer(s, perNode[i], stop, &wg)
+	}
+	// Let the baseline accumulate error-free history on every node.
+	time.Sleep(150 * time.Millisecond)
+
+	// Ship the bad build.
+	for _, s := range sims {
+		s.good.Store(false)
+	}
+
+	jpath := filepath.Join(t.TempDir(), "rollout.jsonl")
+	j, err := fleet.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	tracer := obs.NewTracer("fleet-chaos")
+	cfg := fleet.Config{
+		Name:          "bad-build",
+		CanarySize:    2,
+		GrowthFactor:  2,
+		HealthWindow:  300 * time.Millisecond,
+		ProbeInterval: 20 * time.Millisecond,
+		WindowTimeout: 10 * time.Second,
+		Journal:       j,
+		Trace:         tracer,
+		Fence:         fleet.NewFence(),
+	}
+	o, err := fleet.New(cfg, fleetNodes(sims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run() }()
+	waitOrchestratorState(t, o, fleet.StatePaused, 30*time.Second)
+
+	st := o.Status()
+	if st.GateOutcome != "rollback" {
+		t.Fatalf("gate outcome %q, want rollback (reason %q)", st.GateOutcome, st.Reason)
+	}
+	canaries := map[string]bool{}
+	if len(st.Batches) == 0 || len(st.Batches[0]) != 2 {
+		t.Fatalf("canary batch %v, want 2 nodes", st.Batches)
+	}
+	for _, n := range st.Batches[0] {
+		canaries[n] = true
+	}
+	for _, s := range sims {
+		state := s.slot.State()
+		if state.Generation != 1 {
+			t.Fatalf("%s reached generation %d — nobody may be promoted", s.name, state.Generation)
+		}
+		if canaries[s.name] {
+			if state.Phase != "rolled-back" {
+				t.Fatalf("canary %s phase %q, want rolled-back", s.name, state.Phase)
+			}
+			// The rollback mechanism must be drain-undo, not a rebind.
+			// The sender's undo settles asynchronously after its lease
+			// breaks, so poll briefly.
+			undoDeadline := time.Now().Add(3 * time.Second)
+			for s.reg.Snapshot().Counters["proxy.takeover_undos"] != 1 && time.Now().Before(undoDeadline) {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if got := s.reg.Snapshot().Counters["proxy.takeover_undos"]; got != 1 {
+				t.Fatalf("canary %s takeover_undos = %d, want 1", s.name, got)
+			}
+		} else {
+			if got := s.reg.Snapshot().Counters["proxy.takeover_commits"]; got != 0 {
+				t.Fatalf("untouched node %s saw %d takeover commits", s.name, got)
+			}
+		}
+	}
+
+	// The paused rollout is then explicitly abandoned.
+	if err := o.Decide(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runDone; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := o.Status().State; got != fleet.StateAborted {
+		t.Fatalf("state %q after abort", got)
+	}
+
+	// Let the un-drained canaries serve a little longer, then audit load.
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	for i, s := range sims {
+		c := perNode[i]
+		if tf := c.transport.Load(); tf != 0 {
+			t.Fatalf("%s: %d transport-level failures (last: %v) — drain-undo must be invisible",
+				s.name, tf, c.lastErr.Load())
+		}
+		if c.ok.Load() == 0 {
+			t.Fatalf("%s: load loop starved", s.name)
+		}
+		if !canaries[s.name] {
+			if se := c.serverErr.Load(); se != 0 {
+				t.Fatalf("untouched node %s served %d errors — bad build leaked past the canary", s.name, se)
+			}
+		}
+	}
+
+	// Journal audit: both canaries rolled back, nobody promoted, and the
+	// pause is on disk.
+	recs, err := fleet.Replay(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.Kind]++
+	}
+	if counts[fleet.RecNodeRolledBack] != 2 || counts[fleet.RecNodePromoted] != 0 {
+		t.Fatalf("journal counts %v: want 2 rollbacks, 0 promotions", counts)
+	}
+	if counts[fleet.RecPause] != 1 || counts[fleet.RecDone] != 1 {
+		t.Fatalf("journal counts %v: want 1 pause, 1 done", counts)
+	}
+
+	// Trace audit: the rollout tree records the rollback.
+	var sawRollback bool
+	for _, r := range tracer.Finished() {
+		if r.Name == obs.SpanRolloutRollback {
+			sawRollback = true
+		}
+	}
+	if !sawRollback {
+		t.Fatal("no rollout.rollback span recorded")
+	}
+}
+
+// TestFleetChaosOperatorCrashResume: the operator dies mid-batch; its
+// abandoned canaries self-roll-back via MaxHold; a second operator
+// recovers the journal, skips the promoted nodes, re-drives the rest,
+// and lands in the same terminal state an uninterrupted rollout reaches
+// — every node on generation 2, zero failed requests throughout.
+func TestFleetChaosOperatorCrashResume(t *testing.T) {
+	const fleetSize = 24
+	sims := newSimFleet(t, fleetSize, 500*time.Millisecond)
+	perNode := make([]*loadCounts, len(sims))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, s := range sims {
+		perNode[i] = &loadCounts{}
+		wg.Add(1)
+		go hammer(s, perNode[i], stop, &wg)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	jpath := filepath.Join(t.TempDir(), "rollout.jsonl")
+	j, err := fleet.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleet.Config{
+		Name:          "crash-resume",
+		CanarySize:    1,
+		GrowthFactor:  2,
+		HealthWindow:  250 * time.Millisecond,
+		ProbeInterval: 20 * time.Millisecond,
+		WindowTimeout: 10 * time.Second,
+		Journal:       j,
+	}
+	o1, err := fleet.New(cfg, fleetNodes(sims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- o1.Run() }()
+
+	// Kill the operator once at least one node is promoted AND a later
+	// batch is inside its canary window — mid-batch by construction.
+	killDeadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(killDeadline) {
+			t.Fatal("never caught the rollout mid-batch")
+		}
+		st := o1.Status()
+		promoted := 0
+		for _, n := range st.Nodes {
+			if n.Promoted {
+				promoted++
+			}
+		}
+		inWindow := false
+		for _, s := range sims {
+			if s.slot.State().Phase == "committed-awaiting-ready" {
+				inWindow = true
+			}
+		}
+		if promoted >= 1 && inWindow {
+			break
+		}
+		if st.State == fleet.StateDone {
+			t.Fatal("rollout finished before the kill — shrink the windows")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	o1.Close() // simulated crash: no terminal journal record
+	if err := <-runDone; err != fleet.ErrClosed {
+		t.Fatalf("killed run returned %v, want ErrClosed", err)
+	}
+	j.Close()
+
+	// Recover from the journal exactly as a fresh operator process would.
+	recs, err := fleet.Replay(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := fleet.Recover(recs)
+	if prog.Rollout != "crash-resume" {
+		t.Fatalf("recovered rollout %q", prog.Rollout)
+	}
+	if len(prog.Promoted) == 0 {
+		t.Fatal("kill landed before any promotion — wanted mid-rollout")
+	}
+	if len(prog.Promoted) == fleetSize {
+		t.Fatal("every node already promoted — kill landed too late")
+	}
+
+	j2, err := fleet.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	cfg2 := cfg
+	cfg2.Journal = j2
+	cfg2.Resume = &prog
+	o2, err := fleet.New(cfg2, fleetNodes(sims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2Done := make(chan error, 1)
+	go func() { run2Done <- o2.Run() }()
+	resumeDeadline := time.Now().Add(60 * time.Second)
+wait2:
+	for {
+		select {
+		case err := <-run2Done:
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			break wait2
+		default:
+		}
+		if st := o2.Status(); st.State == fleet.StatePaused {
+			t.Fatalf("resumed rollout paused: %q (gate %+v)", st.Reason, st.LastGate)
+		}
+		if time.Now().After(resumeDeadline) {
+			st := o2.Status()
+			t.Fatalf("resumed rollout never finished (state %q, reason %q)", st.State, st.Reason)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := o2.Status().State; got != fleet.StateDone {
+		t.Fatalf("resumed rollout state %q, want done", got)
+	}
+
+	// Convergence: the terminal fleet state is indistinguishable from an
+	// uninterrupted rollout — every node on generation 2, steady phase.
+	for _, s := range sims {
+		st := s.slot.State()
+		if st.Generation != 2 {
+			t.Fatalf("%s generation %d, want 2", s.name, st.Generation)
+		}
+		if st.Phase != "serving" {
+			t.Fatalf("%s phase %q, want serving", s.name, st.Phase)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	for i, s := range sims {
+		c := perNode[i]
+		if tf := c.transport.Load(); tf != 0 {
+			t.Fatalf("%s: %d transport failures across crash+resume (last: %v)",
+				s.name, tf, c.lastErr.Load())
+		}
+		if se := c.serverErr.Load(); se != 0 {
+			t.Fatalf("%s: %d server errors from a good build", s.name, se)
+		}
+	}
+}
+
+// TestFleetChaosControlPartitionMidWindow: the control channel is
+// severed while canaries hold their windows. The verdict never arrives;
+// MaxHold self-rollback reclaims the nodes; the rollout pauses; the data
+// plane never failed a request. Control-plane loss must degrade the
+// ROLLOUT, never the traffic.
+func TestFleetChaosControlPartitionMidWindow(t *testing.T) {
+	sims := newSimFleet(t, 4, 400*time.Millisecond)
+	perNode := make([]*loadCounts, len(sims))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, s := range sims {
+		perNode[i] = &loadCounts{}
+		wg.Add(1)
+		go hammer(s, perNode[i], stop, &wg)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	in := faults.NewInjector(faults.Scenario{Seed: 7})
+	cfg := fleet.Config{
+		Name:          "partition",
+		CanarySize:    1,
+		HealthWindow:  300 * time.Millisecond,
+		ProbeInterval: 20 * time.Millisecond,
+		WindowTimeout: 10 * time.Second,
+		Control:       in,
+	}
+	o, err := fleet.New(cfg, fleetNodes(sims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run() }()
+
+	// Sever the control plane the moment the canary enters its window.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("canary never entered its window")
+		}
+		entered := false
+		for _, s := range sims {
+			if s.slot.State().Phase == "committed-awaiting-ready" {
+				entered = true
+			}
+		}
+		if entered {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	in.SetPartitioned(true)
+
+	waitOrchestratorState(t, o, fleet.StatePaused, 30*time.Second)
+	if in.Injected(faults.OpDropRPC) == 0 {
+		t.Fatal("partition never dropped an RPC")
+	}
+
+	// The abandoned canary reclaimed itself: old generation serving, no
+	// promotion anywhere.
+	rolledBack := 0
+	for _, s := range sims {
+		st := s.slot.State()
+		if st.Generation != 1 {
+			t.Fatalf("%s generation %d under a partitioned control plane", s.name, st.Generation)
+		}
+		if st.Phase == "rolled-back" {
+			rolledBack++
+			// The sender's undo settles asynchronously; poll briefly.
+			undoDeadline := time.Now().Add(3 * time.Second)
+			for s.reg.Snapshot().Counters["proxy.takeover_undos"] != 1 && time.Now().Before(undoDeadline) {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if got := s.reg.Snapshot().Counters["proxy.takeover_undos"]; got != 1 {
+				t.Fatalf("%s takeover_undos = %d, want 1", s.name, got)
+			}
+		}
+	}
+	if rolledBack == 0 {
+		t.Fatal("no node self-rolled-back after the partition")
+	}
+
+	// Heal the partition and abandon the rollout cleanly.
+	in.SetPartitioned(false)
+	if err := o.Decide(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runDone; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	for i, s := range sims {
+		c := perNode[i]
+		if tf := c.transport.Load(); tf != 0 {
+			t.Fatalf("%s: %d transport failures (last: %v) — partition hit the data plane",
+				s.name, tf, c.lastErr.Load())
+		}
+		if se := c.serverErr.Load(); se != 0 {
+			t.Fatalf("%s: %d server errors from a good build", s.name, se)
+		}
+	}
+}

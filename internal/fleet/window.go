@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOperatorLost is returned by a canary window's Gate when no verdict
+// arrived within MaxHold: the orchestrator crashed, was partitioned away,
+// or simply forgot the node. The readiness gate failing makes drain-undo
+// unwind the hand-off, so an abandoned canary self-rolls-back to the old
+// generation instead of serving an unjudged build forever.
+var ErrOperatorLost = errors.New("fleet: no gate verdict before MaxHold, self-rolling-back")
+
+// DefaultMaxHold bounds how long an armed canary window waits for the
+// orchestrator's verdict before self-rolling-back.
+const DefaultMaxHold = 30 * time.Second
+
+// CanaryWindow is the synchronization point between the orchestrator and
+// one node's restart: installed as the proxy's ReadyGate (via the slot's
+// Build closure), it turns the drain-undo protocol's committed-awaiting-
+// ready state into a health-gated canary.
+//
+// Unarmed (no rollout in progress), Gate passes immediately and restarts
+// behave exactly as before. Armed by the orchestrator, Gate blocks the
+// new generation's READY frame — the node serves live traffic while the
+// old generation retains its FDs as an instant rollback — until the
+// orchestrator delivers a verdict: nil promotes (READY is sent, the old
+// generation drains), an error rolls back (drain-undo re-arms the old
+// generation with zero failed requests).
+type CanaryWindow struct {
+	// MaxHold bounds the wait for a verdict; zero means DefaultMaxHold.
+	// Must stay below the sender's TakeoverReadyTimeout, so the receiver
+	// side always resolves the window before the sender's lease expires.
+	MaxHold time.Duration
+
+	mu      sync.Mutex
+	armed   bool
+	entered chan struct{}
+	verdict chan error
+}
+
+// NewCanaryWindow returns a window with the given hold bound (0 =
+// DefaultMaxHold).
+func NewCanaryWindow(maxHold time.Duration) *CanaryWindow {
+	return &CanaryWindow{MaxHold: maxHold}
+}
+
+// Gate implements the proxy ReadyGate contract. Install as
+// proxy.Config.ReadyGate on every generation the slot builds.
+func (w *CanaryWindow) Gate() error {
+	w.mu.Lock()
+	if !w.armed || w.entered == nil {
+		w.mu.Unlock()
+		return nil
+	}
+	entered, verdict := w.entered, w.verdict
+	w.entered = nil // consumed: one canary per arm
+	w.mu.Unlock()
+	close(entered)
+	hold := w.MaxHold
+	if hold <= 0 {
+		hold = DefaultMaxHold
+	}
+	select {
+	case err := <-verdict:
+		return err
+	case <-time.After(hold):
+		return ErrOperatorLost
+	}
+}
+
+// arm prepares the window for one canary restart. It returns the channel
+// closed when the node enters its canary (the restart committed and the
+// gate is holding) and the channel the orchestrator delivers the verdict
+// on (buffered: delivery never blocks, even to a node that already
+// self-rolled-back).
+func (w *CanaryWindow) arm() (entered <-chan struct{}, verdict chan<- error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.armed = true
+	w.entered = make(chan struct{})
+	w.verdict = make(chan error, 1)
+	return w.entered, w.verdict
+}
+
+// disarm returns the window to pass-through behaviour.
+func (w *CanaryWindow) disarm() {
+	w.mu.Lock()
+	w.armed = false
+	w.entered = nil
+	w.verdict = nil
+	w.mu.Unlock()
+}

@@ -15,7 +15,11 @@ type SlotState struct {
 	Generation int    `json:"generation"`
 	// Phase is the release state machine position: "serving",
 	// "handing-off", "committed-awaiting-ready" (a ProtoDrainUndo
-	// hand-off committed, lease not yet resolved) or "draining".
+	// hand-off committed, lease not yet resolved), "rolling-back" (the
+	// committed hand-off is unwinding — the readiness gate rejected
+	// promotion and the old generation is re-arming from its retained
+	// FDs), "rolled-back" (the unwind completed; sticky until the next
+	// restart attempt) or "draining".
 	Phase          string `json:"phase,omitempty"`
 	Draining       bool   `json:"draining"`
 	TakeoverArmed  bool   `json:"takeover_armed"`
@@ -40,6 +44,8 @@ type ReleaseState struct {
 //	/metrics        Prometheus text format from Registry
 //	/healthz        200 "ok" normally, 503 "draining" while Draining()
 //	/debug/release  ReleaseState JSON (in-flight spans filled from Tracer)
+//	/debug/<name>   one JSON page per Debug entry (e.g. the release
+//	                orchestrator's /debug/rollout)
 //
 // All fields are optional; absent ones degrade to empty output.
 type Admin struct {
@@ -48,6 +54,11 @@ type Admin struct {
 	Tracer       *Tracer
 	Draining     func() bool
 	ReleaseState func() ReleaseState
+	// Debug mounts extra JSON pages under /debug/: each entry name is
+	// served at /debug/<name> by marshalling the function's return value.
+	// Daemons use it to expose subsystem state (rollout status, fleet
+	// topology) without the obs package knowing the types.
+	Debug map[string]func() any
 }
 
 // Handler returns the admin HTTP handler.
@@ -83,6 +94,17 @@ func (a *Admin) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(state)
 	})
+	for name, fn := range a.Debug {
+		fn := fn
+		mux.HandleFunc("/debug/"+name, func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(fn()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
 	return mux
 }
 

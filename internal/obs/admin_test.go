@@ -205,3 +205,48 @@ func TestAdminServerStartServes(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 }
+
+// TestAdminDebugPages: Debug entries mount one JSON page each under
+// /debug/<name> — how daemons expose subsystem state (e.g. the release
+// orchestrator's /debug/rollout) without obs knowing the types.
+func TestAdminDebugPages(t *testing.T) {
+	calls := 0
+	a := &Admin{
+		Service: "test",
+		Debug: map[string]func() any{
+			"rollout": func() any {
+				calls++
+				return map[string]any{"state": "running", "batch": calls}
+			},
+		},
+	}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	get := func() map[string]any {
+		resp, err := http.Get(srv.URL + "/debug/rollout")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if out := get(); out["state"] != "running" || out["batch"] != float64(1) {
+		t.Fatalf("first fetch = %v", out)
+	}
+	// Each request re-invokes the callback: the page is live state, not a
+	// snapshot taken at mount time.
+	if out := get(); out["batch"] != float64(2) {
+		t.Fatalf("second fetch = %v, want batch 2", out)
+	}
+}

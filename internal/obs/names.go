@@ -47,3 +47,16 @@ const (
 	SpanRelease         = "release"
 	SpanReleaseBatch    = "release.batch"
 )
+
+// Fleet rollout spans, recorded by the internal/fleet orchestrator:
+//
+//	rollout           one staged fleet release end to end
+//	rollout.batch     one canary/expansion batch (attrs: batch, nodes)
+//	rollout.gate      the health-gate observation window + decision
+//	rollout.rollback  a failed batch unwinding via drain-undo
+const (
+	SpanRollout         = "rollout"
+	SpanRolloutBatch    = "rollout.batch"
+	SpanRolloutGate     = "rollout.gate"
+	SpanRolloutRollback = "rollout.rollback"
+)

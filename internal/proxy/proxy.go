@@ -554,6 +554,13 @@ type TakeoverOptions struct {
 	// enters its committed-awaiting-ready state. The orchestrator uses it
 	// to surface the state in core.ProxySlot.
 	OnCommitted func()
+	// OnRollingBack, when non-nil, fires when a committed hand-off starts
+	// unwinding: the post-commit readiness gate rejected promotion (the
+	// proxy's own serving checks or Config.ReadyGate), so this instance
+	// is about to step down while the old one un-drains from its
+	// retained FDs. The orchestrator uses it to surface the rolling-back
+	// state in core.ProxySlot.
+	OnRollingBack func()
 }
 
 // TakeoverFromWith is TakeoverFrom with explicit options, recorded under a
@@ -607,13 +614,14 @@ func (p *Proxy) TakeoverFromWith(path string, opts TakeoverOptions) (*takeover.R
 			if opts.OnCommitted != nil {
 				opts.OnCommitted()
 			}
-			if err := p.readyToServe(); err != nil {
-				return err
+			err := p.readyToServe()
+			if err == nil && p.cfg.ReadyGate != nil {
+				err = p.cfg.ReadyGate()
 			}
-			if p.cfg.ReadyGate != nil {
-				return p.cfg.ReadyGate()
+			if err != nil && opts.OnRollingBack != nil {
+				opts.OnRollingBack()
 			}
-			return nil
+			return err
 		},
 	}})
 	if err != nil {
