@@ -50,6 +50,10 @@ var ErrClosed = errors.New("fleet: orchestrator closed")
 // ErrNotPaused reports a Decide call outside a pause.
 var ErrNotPaused = errors.New("fleet: rollout is not paused")
 
+// ErrDecidePending reports a Decide call while a decision for the
+// current pause is already queued and not yet consumed.
+var ErrDecidePending = errors.New("fleet: a decision for this pause is already pending")
+
 // ErrGateRejected is the verdict delivered into a canary window when the
 // health gate votes against the batch; it surfaces (wrapped) from the
 // node's Restart as the drain-undo cause.
@@ -160,6 +164,10 @@ type Orchestrator struct {
 	rolledBack map[string]bool
 	lastGate   []NodeVerdict
 	gateOut    string
+	// inflight maps node name → the done channel of a restart that
+	// outlived its settle timeout. The node must not be re-driven until
+	// that restart resolves.
+	inflight map[string]chan error
 
 	decide chan bool
 	closed chan struct{}
@@ -198,6 +206,7 @@ func New(cfg Config, nodes []*Node) (*Orchestrator, error) {
 		state:      StateIdle,
 		promoted:   map[string]bool{},
 		rolledBack: map[string]bool{},
+		inflight:   map[string]chan error{},
 		decide:     make(chan bool, 1),
 		closed:     make(chan struct{}),
 	}, nil
@@ -213,19 +222,26 @@ func (o *Orchestrator) Close() {
 }
 
 // Decide resolves a paused rollout: resume=true re-drives the remaining
-// (and rolled-back) nodes, resume=false aborts the rollout.
+// (and rolled-back) nodes, resume=false aborts the rollout. The state
+// check and the send are atomic under o.mu, so concurrent Decide calls
+// cannot queue a second, stale decision that would silently auto-resolve
+// a later pause.
 func (o *Orchestrator) Decide(resume bool) error {
+	select {
+	case <-o.closed:
+		return ErrClosed
+	default:
+	}
 	o.mu.Lock()
-	paused := o.state == StatePaused
-	o.mu.Unlock()
-	if !paused {
+	defer o.mu.Unlock()
+	if o.state != StatePaused {
 		return ErrNotPaused
 	}
 	select {
 	case o.decide <- resume:
 		return nil
-	case <-o.closed:
-		return ErrClosed
+	default:
+		return ErrDecidePending
 	}
 }
 
@@ -278,6 +294,42 @@ func (o *Orchestrator) setState(state, reason string) {
 	o.state = state
 	o.reason = reason
 	o.mu.Unlock()
+}
+
+// pauseState enters StatePaused, first discarding any decision that
+// slipped into the buffer after the previous pause resolved (a Decide
+// racing the paused→running transition), so each pause consumes exactly
+// one fresh decision.
+func (o *Orchestrator) pauseState(reason string) {
+	o.mu.Lock()
+	select {
+	case <-o.decide:
+	default:
+	}
+	o.state = StatePaused
+	o.reason = reason
+	o.mu.Unlock()
+}
+
+// inflightResolved reports whether name is clear of any previous
+// restart that outlived its settle timeout, clearing the record once
+// that restart finally resolves.
+func (o *Orchestrator) inflightResolved(name string) bool {
+	o.mu.Lock()
+	ch := o.inflight[name]
+	o.mu.Unlock()
+	if ch == nil {
+		return true
+	}
+	select {
+	case <-ch:
+		o.mu.Lock()
+		delete(o.inflight, name)
+		o.mu.Unlock()
+		return true
+	default:
+		return false
+	}
 }
 
 // rpc passes one control-plane call through the fault injector. Every
@@ -377,7 +429,7 @@ func (o *Orchestrator) run(root *obs.Span) error {
 				if err := o.journal(Record{Kind: RecPause, Batch: i, Reason: reason}); err != nil {
 					return err
 				}
-				o.setState(StatePaused, reason)
+				o.pauseState(reason)
 				resume, err := o.awaitDecide()
 				if err != nil {
 					return err // Close during pause: state stays paused on disk
@@ -489,15 +541,16 @@ func (o *Orchestrator) reconcileAbandoned(p *Progress) error {
 
 // canary is one node's in-batch bookkeeping.
 type canary struct {
-	node     *Node
-	before   map[string]int64
-	baseline ProbeWindow
-	entered   <-chan struct{}
-	verdict   chan<- error
-	done      chan error
-	inWindow  bool
-	delivered bool
-	failed    string // pre-window failure (rpc drop, restart abort)
+	node        *Node
+	before      map[string]int64
+	baseline    ProbeWindow
+	entered     <-chan struct{}
+	verdict     chan<- error
+	done        chan error
+	inWindow    bool
+	delivered   bool
+	preRejected bool   // rollback verdict pre-loaded before window entry (timeout)
+	failed      string // pre-window failure (rpc drop, restart abort, timeout)
 }
 
 // runBatch drives one batch through restart → observe → gate → settle
@@ -544,8 +597,15 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 	}
 	wg.Wait()
 
-	// Restart every node; each blocks inside its canary window.
+	// Restart every node; each blocks inside its canary window. A node
+	// whose previous restart outlived its settle timeout is skipped —
+	// re-arming its window and restarting it again would race the still
+	// in-flight restart.
 	for _, c := range cans {
+		if !o.inflightResolved(c.node.Name) {
+			c.failed = "previous restart still in flight"
+			continue
+		}
 		if err := o.rpc("restart " + c.node.Name); err != nil {
 			c.failed = fmt.Sprintf("restart rpc: %v", err)
 			continue
@@ -556,7 +616,9 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 		}(c)
 	}
 	// Wait for each to reach committed-awaiting-ready (or fail early).
-	deadline := time.After(o.cfg.WindowTimeout)
+	// The deadline is absolute so every canary in the batch observes
+	// WindowTimeout, not just whichever node consumes the timer first.
+	deadline := time.Now().Add(o.cfg.WindowTimeout)
 	for _, c := range cans {
 		if c.failed != "" {
 			continue
@@ -566,11 +628,20 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 			c.inWindow = true
 		case err := <-c.done:
 			// Restart resolved without entering the window: a pre-commit
-			// abort (old generation never stopped serving). Benign.
+			// abort (old generation never stopped serving). Benign; the
+			// restart is over, so disarming cannot race it.
 			c.node.Window.disarm()
 			c.failed = fmt.Sprintf("restart did not reach canary window: %v", err)
-		case <-deadline:
-			c.node.Window.disarm()
+		case <-time.After(time.Until(deadline)):
+			// The restart is still in flight. Disarming here would let a
+			// late-arriving Gate pass straight through — silently
+			// promoting an unjudged build with no journal record — so
+			// instead pre-load a rollback verdict (the channel is
+			// buffered: delivery never blocks). If the node ever reaches
+			// its window, drain-undo unwinds it; the window is disarmed
+			// only once the restart resolves (settle loop below).
+			c.verdict <- fmt.Errorf("%w: timeout waiting for canary window", ErrGateRejected)
+			c.preRejected = true
 			c.failed = "timeout waiting for canary window"
 		case <-o.closed:
 			return Pause, nil, ErrClosed
@@ -614,8 +685,12 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 		}
 		g := o.cfg.Gate.withDefaults()
 		delta := core.HealthDeltaBetween(c.before, after, g.RequestKeys, g.ErrorKeys)
-		if after == nil {
-			delta.Inconclusive = true // counters unreachable: channel abstains
+		if c.before == nil || after == nil {
+			// Either snapshot RPC dropped (or the node exposes no
+			// counters): the channel abstains. Judging a missing baseline
+			// would compare the node's full cumulative history against
+			// zero and roll back healthy nodes with any lifetime errors.
+			delta.Inconclusive = true
 		}
 		verdicts[i] = evalNode(o.cfg.Gate, c.node.Name, delta, c.baseline, windows[i])
 	}
@@ -665,24 +740,38 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 		}
 	}
 	for _, c := range cans {
-		if !c.inWindow {
+		if !c.inWindow && !c.preRejected {
 			continue
 		}
 		settleTimeout := o.cfg.WindowTimeout
-		if !c.delivered {
+		if !c.delivered && !c.preRejected {
 			// The node never hears from us again; wait out its MaxHold.
 			settleTimeout += maxHold(c.node)
 		}
 		var restartErr error
+		settled := true
 		select {
 		case restartErr = <-c.done:
 		case <-time.After(settleTimeout):
+			settled = false
 			restartErr = fmt.Errorf("fleet: node %s did not settle within %s", c.node.Name, settleTimeout)
 		case <-o.closed:
-			c.node.Window.disarm()
+			if c.inWindow {
+				c.node.Window.disarm()
+			}
 			return Pause, nil, ErrClosed
 		}
-		c.node.Window.disarm()
+		if settled {
+			c.node.Window.disarm()
+		} else {
+			// The restart is still in flight: keep the window armed (a
+			// pre-rejected node's queued verdict still fails a late Gate)
+			// and remember the outstanding done channel so this node is
+			// not re-driven concurrently with it.
+			o.mu.Lock()
+			o.inflight[c.node.Name] = c.done
+			o.mu.Unlock()
+		}
 		promoted := c.delivered && decision == Promote && (restartErr == nil || errors.Is(restartErr, core.ErrTakeoverNotArmed))
 		if promoted {
 			// ErrTakeoverNotArmed means the new generation serves but is
@@ -697,9 +786,12 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 			continue
 		}
 		reason := "gate rollback"
-		if !c.delivered {
+		switch {
+		case c.preRejected:
+			reason = c.failed // timeout waiting for canary window
+		case !c.delivered:
 			reason = "verdict lost, MaxHold self-rollback"
-		} else if decision == Promote {
+		case decision == Promote:
 			reason = fmt.Sprintf("promote failed: %v", restartErr)
 		}
 		if decision == Promote {

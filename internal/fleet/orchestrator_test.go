@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -20,6 +21,7 @@ import (
 type fakeTarget struct {
 	name     string
 	win      *CanaryWindow
+	preGate  func() // runs before the commit + gate (simulates a slow hand-off)
 	mu       sync.Mutex
 	gen      int
 	phase    string
@@ -35,6 +37,9 @@ func (f *fakeTarget) Restart(...core.RestartOption) error {
 	f.mu.Unlock()
 	if f.abortErr != nil {
 		return f.abortErr
+	}
+	if f.preGate != nil {
+		f.preGate()
 	}
 	f.setPhase("committed-awaiting-ready")
 	if err := f.win.Gate(); err != nil {
@@ -495,6 +500,192 @@ func TestOrchestratorPartitionedControlPlane(t *testing.T) {
 	}
 	if err := <-runDone; err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// waitReason blocks until the paused rollout's reason contains want.
+func waitReason(t *testing.T, o *Orchestrator, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := o.Status()
+		if st.State == StatePaused && strings.Contains(st.Reason, want) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("orchestrator never paused with reason containing %q (state %q, reason %q)",
+		want, o.Status().State, o.Status().Reason)
+}
+
+// TestOrchestratorLateWindowEntryRollsBack pins the window-timeout
+// contract: a canary whose restart outlives WindowTimeout must NOT be
+// silently promoted when it finally reaches its gate. The orchestrator
+// pre-loads a rollback verdict instead of disarming, so the late Gate
+// fails and drain-undo unwinds; and while that restart is still in
+// flight, an operator resume must not re-drive the node concurrently.
+func TestOrchestratorLateWindowEntryRollsBack(t *testing.T) {
+	gateCh := make(chan struct{})
+	n0, ft0 := newFakeNode("n0", "", nil)
+	ft0.preGate = func() { <-gateCh }
+	cfg := fastConfig("late-entry")
+	cfg.WindowTimeout = 50 * time.Millisecond
+	o, err := New(cfg, []*Node{n0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run() }()
+	waitReason(t, o, "timeout waiting for canary window")
+	if ft0.state().Generation != 0 {
+		t.Fatalf("timed-out canary promoted to gen %d", ft0.state().Generation)
+	}
+	// Resume while the first restart is still stuck pre-gate: the node
+	// must be fenced off, not restarted a second time in parallel.
+	if err := o.Decide(true); err != nil {
+		t.Fatal(err)
+	}
+	waitReason(t, o, "previous restart still in flight")
+	if got := ft0.restartCount(); got != 1 {
+		t.Fatalf("stuck node restarted %d times, want 1 (no concurrent re-drive)", got)
+	}
+	// Release the stuck restart: its Gate must consume the pre-loaded
+	// rollback verdict and unwind, never promote.
+	close(gateCh)
+	settleDeadline := time.Now().Add(5 * time.Second)
+	for ft0.state().Phase != "rolled-back" {
+		if !time.Now().Before(settleDeadline) {
+			t.Fatalf("late canary never rolled back (phase %q, gen %d)",
+				ft0.state().Phase, ft0.state().Generation)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ft0.state().Generation != 0 {
+		t.Fatalf("late canary gen %d after rollback, want 0", ft0.state().Generation)
+	}
+	// With the old restart resolved, a resume re-drives the node cleanly.
+	if err := o.Decide(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runDone; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if o.Status().State != StateDone {
+		t.Fatalf("state %q, want done", o.Status().State)
+	}
+	if ft0.state().Generation != 1 {
+		t.Fatalf("gen %d after clean re-drive, want 1", ft0.state().Generation)
+	}
+}
+
+// TestOrchestratorWindowTimeoutPerCanary: WindowTimeout is a batch-wide
+// absolute deadline every canary observes. With the old shared
+// time.After channel the first timed-out canary consumed the only
+// timer value and the second blocked forever.
+func TestOrchestratorWindowTimeoutPerCanary(t *testing.T) {
+	gateCh := make(chan struct{})
+	var nodes []*Node
+	var fts []*fakeTarget
+	for i := 0; i < 2; i++ {
+		n, ft := newFakeNode(fmt.Sprintf("n%d", i), "", nil)
+		ft.preGate = func() { <-gateCh }
+		nodes = append(nodes, n)
+		fts = append(fts, ft)
+	}
+	cfg := fastConfig("slow-batch")
+	cfg.CanarySize = 2
+	cfg.WindowTimeout = 50 * time.Millisecond
+	o, err := New(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- o.Run() }()
+	waitState(t, o, StatePaused) // hangs here without the absolute deadline
+	close(gateCh)                // both stuck restarts resolve via their queued rollbacks
+	if err := o.Decide(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runDone; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, ft := range fts {
+		if ft.state().Generation != 0 {
+			t.Fatalf("node %d promoted to gen %d despite window timeout", i, ft.state().Generation)
+		}
+	}
+}
+
+// TestOrchestratorBaselineSnapshotDropAbstains: a dropped baseline
+// snapshot must make the counter channel abstain, not judge the node's
+// full cumulative history against a zero baseline. This node's lifetime
+// error rate (50%) dwarfs MaxErrorRateDelta; only the missing-baseline
+// guard keeps the healthy window from being spuriously rolled back.
+func TestOrchestratorBaselineSnapshotDropAbstains(t *testing.T) {
+	win := NewCanaryWindow(5 * time.Second)
+	ft := &fakeTarget{name: "n0", win: win}
+	var calls atomic.Int32
+	node := &Node{
+		Name:   "n0",
+		Target: ft,
+		Counters: func() map[string]int64 {
+			if calls.Add(1) == 1 {
+				return nil // baseline snapshot lost
+			}
+			return map[string]int64{
+				"edge.http.requests":         10000,
+				"edge.http.errors.no_origin": 5000,
+			}
+		},
+		Probe:  func() error { return nil },
+		Window: win,
+		State:  ft.state,
+	}
+	o, err := New(fastConfig("no-baseline"), []*Node{node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if o.Status().State != StateDone {
+		t.Fatalf("state %q (reason %q): missing baseline must abstain, not roll back",
+			o.Status().State, o.Status().Reason)
+	}
+	if ft.state().Generation != 1 {
+		t.Fatalf("gen %d, want 1", ft.state().Generation)
+	}
+}
+
+// TestDecideSingleFlight: each pause consumes exactly one decision — a
+// second Decide cannot queue a stale value, and a decision left over
+// from a resolved pause is discarded when the next pause begins.
+func TestDecideSingleFlight(t *testing.T) {
+	n, _ := newFakeNode("n0", "", nil)
+	o, err := New(fastConfig("decide"), []*Node{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Decide(true); !errors.Is(err, ErrNotPaused) {
+		t.Fatalf("Decide on idle rollout: %v, want ErrNotPaused", err)
+	}
+	o.setState(StatePaused, "test")
+	if err := o.Decide(true); err != nil {
+		t.Fatalf("first Decide: %v", err)
+	}
+	if err := o.Decide(true); !errors.Is(err, ErrDecidePending) {
+		t.Fatalf("second Decide: %v, want ErrDecidePending", err)
+	}
+	// Entering a new pause discards the undelivered decision.
+	o.pauseState("again")
+	select {
+	case <-o.decide:
+		t.Fatal("stale decision survived pause entry")
+	default:
+	}
+	o.Close()
+	if err := o.Decide(true); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Decide after Close: %v, want ErrClosed", err)
 	}
 }
 
