@@ -28,6 +28,7 @@ func main() {
 	mode := flag.String("mode", "ppr", "in-flight POST handling on restart: ppr | 500 | 307")
 	drain := flag.Duration("drain", 12*time.Second, "drain period")
 	admin := flag.String("admin", "", "admin endpoint bind address (/metrics, /healthz); empty disables")
+	profile := flag.Bool("profile", false, "expose /debug/pprof/ and sample Go runtime gauges on the admin endpoint")
 	flag.Parse()
 
 	var m appserver.Mode
@@ -67,7 +68,11 @@ func main() {
 	}
 	fmt.Printf("%s: serving on %s (mode=%s drain=%v)\n", *name, bound, *mode, *drain)
 	if *admin != "" {
-		a := &obs.Admin{Service: *name, Registry: srv.Metrics(), Draining: srv.Draining}
+		a := &obs.Admin{Service: *name, Registry: srv.Metrics(), Draining: srv.Draining, Profile: *profile}
+		if *profile {
+			stopStats := obs.StartRuntimeStats(srv.Metrics(), 0)
+			defer stopStats()
+		}
 		asrv, err := a.Start(*admin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -30,6 +30,7 @@ var hotPackages = []string{
 	"./internal/http1",
 	"./internal/quicx",
 	"./internal/bufpool",
+	"./internal/metrics",
 }
 
 // Result is one benchmark line.

@@ -23,6 +23,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	name := flag.String("name", "", "broker name (default broker-<pid>)")
 	admin := flag.String("admin", "", "admin endpoint bind address (/metrics, /healthz); empty disables")
+	profile := flag.Bool("profile", false, "expose /debug/pprof/ and sample Go runtime gauges on the admin endpoint")
 	flag.Parse()
 	if *name == "" {
 		*name = fmt.Sprintf("broker-%d", os.Getpid())
@@ -37,7 +38,11 @@ func main() {
 	fmt.Printf("%s: serving MQTT on %s\n", *name, ln.Addr())
 	go b.Serve(ln)
 	if *admin != "" {
-		a := &obs.Admin{Service: *name, Registry: b.Metrics()}
+		a := &obs.Admin{Service: *name, Registry: b.Metrics(), Profile: *profile}
+		if *profile {
+			stopStats := obs.StartRuntimeStats(b.Metrics(), 0)
+			defer stopStats()
+		}
 		srv, err := a.Start(*admin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

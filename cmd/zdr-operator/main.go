@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"zdr/internal/core"
+	"zdr/internal/disrupt"
 	"zdr/internal/fleet"
 	"zdr/internal/http1"
 	"zdr/internal/metrics"
@@ -54,7 +55,8 @@ func main() {
 	maxHold := flag.Duration("max-hold", 30*time.Second, "node-side window bound before self-rollback")
 	journalPath := flag.String("journal", "", "rollout write-ahead log path (empty = unjournaled)")
 	resume := flag.Bool("resume", false, "recover the journal and resume the interrupted rollout")
-	admin := flag.String("admin", "", "admin endpoint bind address (/debug/rollout, /debug/fleet); empty disables")
+	admin := flag.String("admin", "", "admin endpoint bind address (/debug/rollout, /debug/fleet, /debug/telemetry); empty disables")
+	profile := flag.Bool("profile", false, "expose /debug/pprof/ and sample Go runtime gauges on the admin endpoint")
 	bad := flag.Bool("bad", false, "ship a broken build (every request 503s) to exercise the gate")
 	ungated := flag.Bool("ungated", false, "disable canary windows and gating (the pre-gate release process)")
 	load := flag.Bool("load", true, "drive continuous client load at every node")
@@ -140,10 +142,18 @@ func main() {
 		fatal("orchestrator: %v", err)
 	}
 
+	// The telemetry pipeline: scrape every node's metrics + ledger and
+	// merge fleet-wide. Served live at /debug/telemetry and printed as
+	// the final accounting when the rollout ends.
+	tele := &fleet.Telemetry{Nodes: fnodes}
+
 	if *admin != "" {
+		operatorReg := metrics.NewRegistry()
 		a := &obs.Admin{
-			Service: "zdr-operator",
-			Tracer:  cfg.Trace,
+			Service:  "zdr-operator",
+			Registry: operatorReg,
+			Tracer:   cfg.Trace,
+			Profile:  *profile,
 			Debug: map[string]func() any{
 				"rollout": func() any { return o.Status() },
 				"fleet": func() any {
@@ -153,14 +163,19 @@ func main() {
 					}
 					return states
 				},
+				"telemetry": func() any { return tele.Scrape() },
 			},
+		}
+		if *profile {
+			stopStats := obs.StartRuntimeStats(operatorReg, 0)
+			defer stopStats()
 		}
 		srv, err := a.Start(*admin)
 		if err != nil {
 			fatal("admin listener: %v", err)
 		}
 		defer srv.Close()
-		fmt.Printf("zdr-operator: admin on http://%s (/debug/rollout, /debug/fleet)\n", srv.Addr())
+		fmt.Printf("zdr-operator: admin on http://%s (/debug/rollout, /debug/fleet, /debug/telemetry)\n", srv.Addr())
 	}
 
 	// SIGUSR1/SIGUSR2 steer a paused rollout; SIGINT/SIGTERM kill the
@@ -236,6 +251,23 @@ func main() {
 	}
 	fmt.Printf("zdr-operator: %d promoted, %d rolled back; client load: %d ok, %d server errors, %d transport failures\n",
 		promoted, rolledBack, ok, serverErr, transport)
+
+	// Final fleet-wide disruption accounting: merge every node's metrics
+	// and ledger, then report the §6 numbers — requests, tail latency, and
+	// attributed terminal failures by cause × release phase.
+	rep := tele.Scrape()
+	fmt.Printf("zdr-operator: telemetry — %d/%d nodes scraped, %d requests, p99 %.6fs, disruption rate %.6f (%d terminal, %d unattributed)\n",
+		rep.ScrapedNodes, rep.TotalNodes, rep.Requests, rep.LatencyP99, rep.DisruptionRate,
+		rep.Disruption.Terminal, rep.Disruption.Unattributed)
+	cells := append([]disrupt.Cell(nil), rep.CausePhase...)
+	fleet.SortCellsByCount(cells)
+	for i, c := range cells {
+		if i == 5 {
+			fmt.Printf("zdr-operator:   ... %d more cause-phase cells\n", len(cells)-i)
+			break
+		}
+		fmt.Printf("zdr-operator:   %6d  %s during %s\n", c.Count, c.Cause, c.Phase)
+	}
 	if runErr != nil {
 		fatal("rollout: %v", runErr)
 	}
@@ -249,6 +281,7 @@ type simNode struct {
 	slot *core.ProxySlot
 	reg  *metrics.Registry
 	win  *fleet.CanaryWindow
+	led  *disrupt.Ledger
 	node *fleet.Node
 	good atomic.Bool
 	// webAddr is captured once after Start: the VIP address survives
@@ -262,7 +295,7 @@ type simNode struct {
 
 func newSimNode(dir string, i int, maxHold time.Duration, ungated bool) (*simNode, error) {
 	name := fmt.Sprintf("edge-%02d", i)
-	s := &simNode{name: name, reg: metrics.NewRegistry()}
+	s := &simNode{name: name, reg: metrics.NewRegistry(), led: disrupt.New(name, 0)}
 	if !ungated {
 		s.win = fleet.NewCanaryWindow(maxHold)
 	}
@@ -278,6 +311,8 @@ func newSimNode(dir string, i int, maxHold time.Duration, ungated bool) (*simNod
 				Name:                 fmt.Sprintf("%s-g%d", name, gen),
 				Role:                 proxy.RoleEdge,
 				TakeoverReadyTimeout: maxHold + 30*time.Second,
+				Ledger:               s.led,
+				Generation:           gen,
 			}
 			if s.win != nil {
 				cfg.ReadyGate = s.win.Gate
@@ -293,6 +328,7 @@ func newSimNode(dir string, i int, maxHold time.Duration, ungated bool) (*simNod
 	}
 	s.webAddr = s.slot.Current().Addr(proxy.VIPWeb)
 	s.node = fleet.ProxyNode(fmt.Sprintf("vip-%02d", i), s.slot, s.reg, func() string { return s.webAddr }, "/hello", s.win)
+	s.node.Disruption = s.led.Report
 	return s, nil
 }
 

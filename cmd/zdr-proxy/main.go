@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"zdr/internal/disrupt"
 	"zdr/internal/faults"
 	"zdr/internal/obs"
 	"zdr/internal/proxy"
@@ -50,7 +51,9 @@ func main() {
 	drain := flag.Duration("drain", 20*time.Second, "drain period on shutdown")
 	takeoverPath := flag.String("takeover-path", "", "UNIX socket path to serve Socket Takeover on")
 	takeoverFrom := flag.String("takeover-from", "", "take the listening sockets over from the instance at this path")
-	admin := flag.String("admin", "", "admin endpoint bind address (/metrics, /healthz, /debug/release); empty disables")
+	admin := flag.String("admin", "", "admin endpoint bind address (/metrics, /healthz, /debug/release, /debug/disruption); empty disables")
+	profile := flag.Bool("profile", false, "expose /debug/pprof/ and sample Go runtime gauges on the admin endpoint")
+	generation := flag.Int("generation", 1, "process generation for disruption-ledger attribution (bump on each deploy)")
 	flag.Parse()
 
 	cfg := proxy.Config{
@@ -86,6 +89,13 @@ func main() {
 		cfg.Trace = obs.NewTracer(cfg.Name)
 	}
 
+	// Every terminal connection failure is attributed to (cause, release
+	// phase, generation) in the ledger, served at /debug/disruption and
+	// scraped by the operator's telemetry pipeline.
+	led := disrupt.New(cfg.Name, 0)
+	cfg.Ledger = led
+	cfg.Generation = *generation
+
 	p := proxy.New(cfg, nil)
 	if *admin != "" {
 		a := &obs.Admin{
@@ -94,6 +104,14 @@ func main() {
 			Tracer:       p.Tracer(),
 			Draining:     p.Draining,
 			ReleaseState: p.ReleaseState,
+			Profile:      *profile,
+			Debug: map[string]func() any{
+				"disruption": func() any { return led.ReportRecent(64) },
+			},
+		}
+		if *profile {
+			stopStats := obs.StartRuntimeStats(p.Metrics(), 0)
+			defer stopStats()
 		}
 		srv, err := a.Start(*admin)
 		if err != nil {

@@ -36,6 +36,8 @@ var surfacePackages = []struct{ importPath, dir string }{
 	{"zdr/internal/netx", "../netx"},
 	{"zdr/internal/takeover", "../takeover"},
 	{"zdr/internal/fleet", "../fleet"},
+	{"zdr/internal/disrupt", "../disrupt"},
+	{"zdr/internal/metrics", "../metrics"},
 }
 
 func TestAPISurface(t *testing.T) {

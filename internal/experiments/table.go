@@ -114,6 +114,7 @@ func All() []Experiment {
 		{"T-C", TblPeakHourRelease},
 		{"T-D", TblReleasePhases},
 		{"T-E", TblFleetRollout},
+		{"T-F", TblDisruptionAttribution},
 	}
 }
 

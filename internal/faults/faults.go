@@ -263,6 +263,7 @@ type Injector struct {
 	next        atomic.Uint64
 	counts      [opCount]atomic.Uint64
 	partitioned atomic.Bool
+	observer    atomic.Pointer[func(Op)]
 }
 
 // NewInjector creates an injector for sc.
@@ -300,6 +301,26 @@ func (in *Injector) count(op Op) {
 	if int(op) < len(in.counts) {
 		in.counts[op].Add(1)
 	}
+	if fn := in.observer.Load(); fn != nil {
+		(*fn)(op)
+	}
+}
+
+// SetObserver registers fn to be invoked once per injected fault, with
+// the op that fired, at the moment the injector counts it. The chaos
+// suite uses this to mirror every injected fault into a disruption
+// ledger so injected and observed failures can be reconciled exactly.
+// One observer at a time; fn must be cheap and non-blocking (it runs on
+// the faulted connection's goroutine). Nil-receiver safe.
+func (in *Injector) SetObserver(fn func(Op)) {
+	if in == nil {
+		return
+	}
+	if fn == nil {
+		in.observer.Store(nil)
+		return
+	}
+	in.observer.Store(&fn)
 }
 
 // nextPlan consumes the next connection index.

@@ -60,6 +60,13 @@ type GateConfig struct {
 	// for the counter channel to be conclusive. Below it the counter
 	// channel abstains. Default 1 (any traffic at all).
 	MinWindowRequests int64
+	// MaxDisruptionRate bounds the windowed disruption rate — terminal
+	// ledger events (resets, timeouts, injected faults) per request over
+	// the observation window, scraped from the node's own telemetry
+	// surface. Exceeding it votes Rollback; zero disables the channel.
+	// This is the §6 measure gated live: connection-level disruption, not
+	// just HTTP error counters.
+	MaxDisruptionRate float64
 	// RequestKeys and ErrorKeys select the counters summed into the
 	// request/error totals. Empty uses DefaultRequestKeys/DefaultErrorKeys.
 	RequestKeys []string
@@ -113,31 +120,34 @@ func (p ProbeWindow) FailureRate() float64 {
 // NodeVerdict is one node's gate evaluation: both health channels, the
 // per-channel votes, and the aggregate decision.
 type NodeVerdict struct {
-	Node     string           `json:"node"`
-	Decision Decision         `json:"-"`
-	Outcome  string           `json:"decision"`
-	Reason   string           `json:"reason,omitempty"`
-	Counters core.HealthDelta `json:"counters"`
-	Probes   ProbeWindow      `json:"probes"`
-	Baseline ProbeWindow      `json:"baseline_probes"`
+	Node      string           `json:"node"`
+	Decision  Decision         `json:"-"`
+	Outcome   string           `json:"decision"`
+	Reason    string           `json:"reason,omitempty"`
+	Counters  core.HealthDelta `json:"counters"`
+	Probes    ProbeWindow      `json:"probes"`
+	Baseline  ProbeWindow      `json:"baseline_probes"`
+	Telemetry TelemetryWindow  `json:"telemetry"`
 }
 
-// evalNode gates one canary node: counters (windowed deltas vs the
-// node's own baseline, guarded by core.HealthDeltaBetween) and probes
-// (failure rate + p99 vs the baseline window). Channel semantics:
+// evalNode gates one canary node across three health channels: counters
+// (windowed deltas vs the node's own baseline, guarded by
+// core.HealthDeltaBetween), probes (failure rate + p99 vs the baseline
+// window), and telemetry (windowed ledger disruption rate + data-plane
+// histogram p99 from the node's own scrape). Channel semantics:
 //
-//   - either channel voting Rollback → Rollback (fail closed on badness)
-//   - both channels inconclusive (no traffic AND no probes) → Pause: the
-//     gate cannot tell a healthy idle node from a black hole, so a human
-//     decides
+//   - any channel voting Rollback → Rollback (fail closed on badness)
+//   - every channel inconclusive (no traffic, no probes, no scrape) →
+//     Pause: the gate cannot tell a healthy idle node from a black hole,
+//     so a human decides
 //   - otherwise → Promote
 //
 // A node still in committed-awaiting-ready is exactly the state being
 // gated — evaluation happens while the canary window holds — so phase is
 // no obstacle to gating; it is the precondition.
-func evalNode(g GateConfig, name string, delta core.HealthDelta, baseline, window ProbeWindow) NodeVerdict {
+func evalNode(g GateConfig, name string, delta core.HealthDelta, baseline, window ProbeWindow, tel TelemetryWindow) NodeVerdict {
 	g = g.withDefaults()
-	v := NodeVerdict{Node: name, Counters: delta, Probes: window, Baseline: baseline}
+	v := NodeVerdict{Node: name, Counters: delta, Probes: window, Baseline: baseline, Telemetry: tel}
 	countersConclusive := !delta.Inconclusive && delta.Requests >= g.MinWindowRequests
 	if countersConclusive && delta.ErrorRateDelta > g.MaxErrorRateDelta {
 		v.Decision = Rollback
@@ -162,9 +172,28 @@ func evalNode(g GateConfig, name string, delta core.HealthDelta, baseline, windo
 			return v
 		}
 	}
-	if !countersConclusive && !probesConclusive {
+	telConclusive := tel.Scraped && tel.Requests >= g.MinWindowRequests
+	if telConclusive {
+		if g.MaxDisruptionRate > 0 {
+			if dr := tel.DisruptionRate(); dr > g.MaxDisruptionRate {
+				v.Decision = Rollback
+				v.Reason = fmt.Sprintf("disruption rate %.4f (%d terminal / %d requests) exceeds %.4f",
+					dr, tel.Terminal, tel.Requests, g.MaxDisruptionRate)
+				v.Outcome = v.Decision.String()
+				return v
+			}
+		}
+		if g.MaxP99Factor > 0 && tel.BaselineP99 > 0 && tel.P99 > tel.BaselineP99*g.MaxP99Factor {
+			v.Decision = Rollback
+			v.Reason = fmt.Sprintf("data-plane p99 %.6fs exceeds baseline %.6fs x%.2f",
+				tel.P99, tel.BaselineP99, g.MaxP99Factor)
+			v.Outcome = v.Decision.String()
+			return v
+		}
+	}
+	if !countersConclusive && !probesConclusive && !telConclusive {
 		v.Decision = Pause
-		v.Reason = "inconclusive: no requests and no probes in window"
+		v.Reason = "inconclusive: no requests, no probes, and no telemetry in window"
 		v.Outcome = v.Decision.String()
 		return v
 	}

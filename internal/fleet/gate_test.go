@@ -18,14 +18,14 @@ func delta(baseReq, baseErr, req, errs int64) core.HealthDelta {
 // canary node both evaluates and aggregates alone — a batch of one is a
 // complete gate, not a degenerate case.
 func TestEvalNodeCanaryOfOne(t *testing.T) {
-	v := evalNode(GateConfig{}, "n1", delta(1000, 0, 500, 0), ProbeWindow{}, ProbeWindow{Sent: 10})
+	v := evalNode(GateConfig{}, "n1", delta(1000, 0, 500, 0), ProbeWindow{}, ProbeWindow{Sent: 10}, TelemetryWindow{})
 	if v.Decision != Promote {
 		t.Fatalf("healthy canary of one: %s (%s)", v.Decision, v.Reason)
 	}
 	if got := aggregate([]NodeVerdict{v}); got != Promote {
 		t.Fatalf("aggregate of one promote = %s", got)
 	}
-	bad := evalNode(GateConfig{}, "n1", delta(1000, 0, 500, 100), ProbeWindow{}, ProbeWindow{})
+	bad := evalNode(GateConfig{}, "n1", delta(1000, 0, 500, 100), ProbeWindow{}, ProbeWindow{}, TelemetryWindow{})
 	if bad.Decision != Rollback {
 		t.Fatalf("20%% error canary of one: %s", bad.Decision)
 	}
@@ -39,12 +39,12 @@ func TestEvalNodeCanaryOfOne(t *testing.T) {
 // erroring at 1% before the release does not trip the gate at 1% after.
 func TestEvalNodeErrorRateDelta(t *testing.T) {
 	// Baseline 1% errors, window 1% errors: delta ~0, promote.
-	v := evalNode(GateConfig{}, "n1", delta(1000, 10, 1000, 10), ProbeWindow{}, ProbeWindow{})
+	v := evalNode(GateConfig{}, "n1", delta(1000, 10, 1000, 10), ProbeWindow{}, ProbeWindow{}, TelemetryWindow{})
 	if v.Decision != Promote {
 		t.Fatalf("unchanged error rate: %s (%s)", v.Decision, v.Reason)
 	}
 	// Baseline 0%, window 5%: delta 0.05 > default 0.01, rollback.
-	v = evalNode(GateConfig{}, "n1", delta(1000, 0, 1000, 50), ProbeWindow{}, ProbeWindow{})
+	v = evalNode(GateConfig{}, "n1", delta(1000, 0, 1000, 50), ProbeWindow{}, ProbeWindow{}, TelemetryWindow{})
 	if v.Decision != Rollback {
 		t.Fatalf("5%% error jump: %s", v.Decision)
 	}
@@ -57,9 +57,9 @@ func TestEvalNodeErrorRateDelta(t *testing.T) {
 // when its peers are healthy — nodes in a batch run the same build.
 func TestEvalNodeMixedBatch(t *testing.T) {
 	verdicts := []NodeVerdict{
-		evalNode(GateConfig{}, "n1", delta(100, 0, 200, 0), ProbeWindow{}, ProbeWindow{Sent: 5}),
-		evalNode(GateConfig{}, "n2", delta(100, 0, 200, 40), ProbeWindow{}, ProbeWindow{Sent: 5}),
-		evalNode(GateConfig{}, "n3", delta(100, 0, 200, 0), ProbeWindow{}, ProbeWindow{Sent: 5}),
+		evalNode(GateConfig{}, "n1", delta(100, 0, 200, 0), ProbeWindow{}, ProbeWindow{Sent: 5}, TelemetryWindow{}),
+		evalNode(GateConfig{}, "n2", delta(100, 0, 200, 40), ProbeWindow{}, ProbeWindow{Sent: 5}, TelemetryWindow{}),
+		evalNode(GateConfig{}, "n3", delta(100, 0, 200, 0), ProbeWindow{}, ProbeWindow{Sent: 5}, TelemetryWindow{}),
 	}
 	if verdicts[0].Decision != Promote || verdicts[2].Decision != Promote {
 		t.Fatalf("healthy peers voted %s/%s", verdicts[0].Decision, verdicts[2].Decision)
@@ -76,19 +76,19 @@ func TestEvalNodeMixedBatch(t *testing.T) {
 // probes) → Pause. The gate cannot tell a healthy idle node from a
 // black hole, so promotion needs a human.
 func TestEvalNodeInconclusive(t *testing.T) {
-	v := evalNode(GateConfig{}, "n1", delta(1000, 5, 0, 0), ProbeWindow{}, ProbeWindow{})
+	v := evalNode(GateConfig{}, "n1", delta(1000, 5, 0, 0), ProbeWindow{}, ProbeWindow{}, TelemetryWindow{})
 	if v.Decision != Pause {
 		t.Fatalf("silent node: %s, want pause", v.Decision)
 	}
 	// Probes alone rescue an idle node: no counter traffic but clean
 	// probes promote.
-	v = evalNode(GateConfig{}, "n1", delta(1000, 5, 0, 0), ProbeWindow{}, ProbeWindow{Sent: 20})
+	v = evalNode(GateConfig{}, "n1", delta(1000, 5, 0, 0), ProbeWindow{}, ProbeWindow{Sent: 20}, TelemetryWindow{})
 	if v.Decision != Promote {
 		t.Fatalf("idle node with clean probes: %s (%s)", v.Decision, v.Reason)
 	}
 	mixed := []NodeVerdict{
-		evalNode(GateConfig{}, "a", delta(100, 0, 100, 0), ProbeWindow{}, ProbeWindow{Sent: 5}),
-		evalNode(GateConfig{}, "b", delta(100, 0, 0, 0), ProbeWindow{}, ProbeWindow{}),
+		evalNode(GateConfig{}, "a", delta(100, 0, 100, 0), ProbeWindow{}, ProbeWindow{Sent: 5}, TelemetryWindow{}),
+		evalNode(GateConfig{}, "b", delta(100, 0, 0, 0), ProbeWindow{}, ProbeWindow{}, TelemetryWindow{}),
 	}
 	if got := aggregate(mixed); got != Pause {
 		t.Fatalf("promote+pause batch aggregated to %s, want pause", got)
@@ -102,12 +102,12 @@ func TestEvalNodeInconclusive(t *testing.T) {
 func TestEvalNodeAwaitingReady(t *testing.T) {
 	// The node entered its window and served: counters moved. Nothing
 	// about the phase blocks evaluation.
-	v := evalNode(GateConfig{}, "n1", delta(500, 0, 300, 1), ProbeWindow{}, ProbeWindow{Sent: 8, Failures: 0})
+	v := evalNode(GateConfig{}, "n1", delta(500, 0, 300, 1), ProbeWindow{}, ProbeWindow{Sent: 8, Failures: 0}, TelemetryWindow{})
 	if v.Decision != Promote {
 		t.Fatalf("awaiting-ready node with healthy window: %s (%s)", v.Decision, v.Reason)
 	}
 	// Same phase, but the window shows the new build failing probes.
-	v = evalNode(GateConfig{}, "n1", delta(500, 0, 300, 0), ProbeWindow{}, ProbeWindow{Sent: 10, Failures: 9})
+	v = evalNode(GateConfig{}, "n1", delta(500, 0, 300, 0), ProbeWindow{}, ProbeWindow{Sent: 10, Failures: 9}, TelemetryWindow{})
 	if v.Decision != Rollback {
 		t.Fatalf("awaiting-ready node with failing probes: %s", v.Decision)
 	}
@@ -118,11 +118,11 @@ func TestEvalNodeAwaitingReady(t *testing.T) {
 func TestEvalNodeProbeLatency(t *testing.T) {
 	g := GateConfig{MaxP99Factor: 3}
 	base := ProbeWindow{Sent: 10, P99: 10 * time.Millisecond}
-	v := evalNode(g, "n1", delta(100, 0, 100, 0), base, ProbeWindow{Sent: 10, P99: 20 * time.Millisecond})
+	v := evalNode(g, "n1", delta(100, 0, 100, 0), base, ProbeWindow{Sent: 10, P99: 20 * time.Millisecond}, TelemetryWindow{})
 	if v.Decision != Promote {
 		t.Fatalf("2x p99 under 3x factor: %s (%s)", v.Decision, v.Reason)
 	}
-	v = evalNode(g, "n1", delta(100, 0, 100, 0), base, ProbeWindow{Sent: 10, P99: 100 * time.Millisecond})
+	v = evalNode(g, "n1", delta(100, 0, 100, 0), base, ProbeWindow{Sent: 10, P99: 100 * time.Millisecond}, TelemetryWindow{})
 	if v.Decision != Rollback {
 		t.Fatalf("10x p99: %s", v.Decision)
 	}
@@ -134,12 +134,12 @@ func TestEvalNodeMinWindowRequests(t *testing.T) {
 	g := GateConfig{MinWindowRequests: 100}
 	// 2 requests, 1 error — a 50% "error rate" from two samples. The
 	// counter channel abstains; clean probes promote.
-	v := evalNode(g, "n1", delta(1000, 0, 2, 1), ProbeWindow{}, ProbeWindow{Sent: 10})
+	v := evalNode(g, "n1", delta(1000, 0, 2, 1), ProbeWindow{}, ProbeWindow{Sent: 10}, TelemetryWindow{})
 	if v.Decision != Promote {
 		t.Fatalf("sub-threshold window gated: %s (%s)", v.Decision, v.Reason)
 	}
 	// Without probes the node is inconclusive → pause, not rollback.
-	v = evalNode(g, "n1", delta(1000, 0, 2, 1), ProbeWindow{}, ProbeWindow{})
+	v = evalNode(g, "n1", delta(1000, 0, 2, 1), ProbeWindow{}, ProbeWindow{}, TelemetryWindow{})
 	if v.Decision != Pause {
 		t.Fatalf("sub-threshold window without probes: %s, want pause", v.Decision)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"zdr/internal/core"
+	"zdr/internal/disrupt"
 	"zdr/internal/http1"
 	"zdr/internal/metrics"
 	"zdr/internal/obs"
@@ -42,6 +43,15 @@ type Node struct {
 	// (generation, phase) for status pages and crash resume. Typically
 	// (*core.ProxySlot).State.
 	State func() obs.SlotState
+	// Metrics snapshots the node's full metrics registry — counters,
+	// gauges, and the mergeable atomic latency histograms the telemetry
+	// pipeline aggregates fleet-wide. Nil excludes the node from latency
+	// merges and the gate's telemetry channel.
+	Metrics func() metrics.RegistrySnapshot
+	// Disruption reports the node's disruption ledger. Nil excludes the
+	// node from disruption accounting (the gate's disruption-rate channel
+	// then abstains for it).
+	Disruption func() disrupt.Report
 }
 
 // generation returns the node's current generation (0 when unknown).
@@ -80,6 +90,9 @@ func ProxyNode(vip string, slot *core.ProxySlot, reg *metrics.Registry, addr fun
 		Probe:    func() error { return HTTPProbe(addr(), path, 2*time.Second) },
 		Window:   win,
 		State:    slot.State,
+		Metrics:  reg.Snapshot,
+		// Disruption is left nil: assign the node's ledger Report (e.g.
+		// led.Report) when the slot's generations share a disrupt.Ledger.
 	}
 }
 

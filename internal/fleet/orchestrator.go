@@ -148,6 +148,9 @@ type Status struct {
 	Nodes       []NodeStatus  `json:"nodes"`
 	LastGate    []NodeVerdict `json:"last_gate,omitempty"`
 	GateOutcome string        `json:"gate_outcome,omitempty"`
+	// Telemetry is the live per-batch disruption/latency roll-up, one
+	// entry per batch driven so far (gated and ungated alike).
+	Telemetry []BatchTelemetry `json:"telemetry,omitempty"`
 }
 
 // Orchestrator drives one rollout over a fixed node set.
@@ -164,6 +167,7 @@ type Orchestrator struct {
 	rolledBack map[string]bool
 	lastGate   []NodeVerdict
 	gateOut    string
+	telemetry  []BatchTelemetry
 	// inflight maps node name → the done channel of a restart that
 	// outlived its settle timeout. The node must not be re-driven until
 	// that restart resolves.
@@ -255,6 +259,7 @@ func (o *Orchestrator) Status() Status {
 		Batch:       o.batch,
 		LastGate:    append([]NodeVerdict(nil), o.lastGate...),
 		GateOutcome: o.gateOut,
+		Telemetry:   append([]BatchTelemetry(nil), o.telemetry...),
 	}
 	for _, b := range o.batches {
 		var names []string
@@ -337,6 +342,15 @@ func (o *Orchestrator) inflightResolved(name string) bool {
 // control channel degrades the rollout, never the data plane.
 func (o *Orchestrator) rpc(op string) error {
 	return o.cfg.Control.RPC(op)
+}
+
+// scrape reads one node's telemetry surface with the gate's counter-key
+// selection. Callers gate it behind rpc() first, so a partitioned
+// control plane loses the scrape (the telemetry channel abstains) rather
+// than fabricating a clean window.
+func (o *Orchestrator) scrape(n *Node) NodeTelemetry {
+	g := o.cfg.Gate.withDefaults()
+	return scrapeNode(n, DefaultLatencyKeys, g.RequestKeys, g.ErrorKeys)
 }
 
 // Run executes the rollout to a terminal state: StateDone (all nodes
@@ -543,6 +557,7 @@ func (o *Orchestrator) reconcileAbandoned(p *Progress) error {
 type canary struct {
 	node        *Node
 	before      map[string]int64
+	telBefore   NodeTelemetry
 	baseline    ProbeWindow
 	entered     <-chan struct{}
 	verdict     chan<- error
@@ -586,6 +601,9 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 		cans[i] = c
 		if err := o.rpc("snapshot " + n.Name); err == nil && n.Counters != nil {
 			c.before = n.Counters()
+		}
+		if err := o.rpc("scrape " + n.Name); err == nil {
+			c.telBefore = o.scrape(n)
 		}
 		if o.cfg.BaselineWindow > 0 {
 			wg.Add(1)
@@ -669,6 +687,7 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 	// probe window. Nodes that never entered their window vote Pause —
 	// the control plane could not judge them, so a human must.
 	verdicts := make([]NodeVerdict, len(cans))
+	telWindows := make([]TelemetryWindow, len(cans))
 	for i, c := range cans {
 		if !c.inWindow {
 			verdicts[i] = NodeVerdict{
@@ -692,8 +711,16 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 			// zero and roll back healthy nodes with any lifetime errors.
 			delta.Inconclusive = true
 		}
-		verdicts[i] = evalNode(o.cfg.Gate, c.node.Name, delta, c.baseline, windows[i])
+		var telAfter NodeTelemetry
+		if err := o.rpc("scrape " + c.node.Name); err == nil {
+			telAfter = o.scrape(c.node)
+		}
+		telWindows[i] = telemetryWindowBetween(c.telBefore, telAfter)
+		verdicts[i] = evalNode(o.cfg.Gate, c.node.Name, delta, c.baseline, windows[i], telWindows[i])
 	}
+	o.mu.Lock()
+	o.telemetry = append(o.telemetry, batchTelemetry(idx, names, telWindows))
+	o.mu.Unlock()
 	decision := aggregate(verdicts)
 	gateSp.SetAttr("decision", decision.String())
 	if decision != Promote {
@@ -818,6 +845,12 @@ func (o *Orchestrator) runBatch(idx int, batch []*Node, root *obs.Span) (Decisio
 // pre-gate release process kept for disruption comparisons. Every node
 // is promoted regardless of health.
 func (o *Orchestrator) runUngatedBatch(idx int, batch []*Node, sp *obs.Span) ([]NodeVerdict, error) {
+	befores := make([]NodeTelemetry, len(batch))
+	for i, n := range batch {
+		if err := o.rpc("scrape " + n.Name); err == nil {
+			befores[i] = o.scrape(n)
+		}
+	}
 	errs := make([]error, len(batch))
 	var wg sync.WaitGroup
 	for i, n := range batch {
@@ -832,6 +865,22 @@ func (o *Orchestrator) runUngatedBatch(idx int, batch []*Node, sp *obs.Span) ([]
 		}(i, n)
 	}
 	wg.Wait()
+	// The telemetry window brackets the restart itself: with no canary
+	// window, whatever the ungated restart disrupted is exactly what the
+	// gated-vs-ungated §6 comparison wants counted.
+	telWindows := make([]TelemetryWindow, len(batch))
+	names := make([]string, len(batch))
+	for i, n := range batch {
+		names[i] = n.Name
+		var after NodeTelemetry
+		if err := o.rpc("scrape " + n.Name); err == nil {
+			after = o.scrape(n)
+		}
+		telWindows[i] = telemetryWindowBetween(befores[i], after)
+	}
+	o.mu.Lock()
+	o.telemetry = append(o.telemetry, batchTelemetry(idx, names, telWindows))
+	o.mu.Unlock()
 	verdicts := make([]NodeVerdict, len(batch))
 	for i, n := range batch {
 		verdicts[i] = NodeVerdict{Node: n.Name, Decision: Promote, Outcome: Promote.String()}

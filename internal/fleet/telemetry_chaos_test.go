@@ -1,0 +1,215 @@
+// Telemetry chaos: the acceptance scenario for the disruption-accounting
+// pipeline. A 24-node fleet with per-node fault injectors and disruption
+// ledgers is rolled out (gated) under live load while the injectors
+// abort connections at random. Afterwards the fleet-merged
+// TelemetryReport must reconcile EXACTLY: every injected fault appears
+// as one attributed ledger event, nothing is unattributed, and the
+// merged atomic histograms carry the fleet's latency distribution.
+package fleet_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zdr/internal/core"
+	"zdr/internal/disrupt"
+	"zdr/internal/faults"
+	"zdr/internal/fleet"
+	"zdr/internal/metrics"
+	"zdr/internal/proxy"
+)
+
+// telemetrySimNode is a simNode with the full telemetry surface wired:
+// a per-node disruption ledger shared across generations and a per-node
+// accept-path fault injector whose observer feeds the ledger.
+type telemetrySimNode struct {
+	name    string
+	slot    *core.ProxySlot
+	reg     *metrics.Registry
+	win     *fleet.CanaryWindow
+	led     *disrupt.Ledger
+	inj     *faults.Injector
+	node    *fleet.Node
+	good    atomic.Bool
+	webAddr string
+}
+
+func newTelemetrySimFleet(t *testing.T, n int, maxHold time.Duration) []*telemetrySimNode {
+	t.Helper()
+	dir := t.TempDir()
+	sims := make([]*telemetrySimNode, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("edge-%02d", i)
+		s := &telemetrySimNode{
+			name: name,
+			reg:  metrics.NewRegistry(),
+			win:  fleet.NewCanaryWindow(maxHold),
+			led:  disrupt.New(name, 512),
+			inj: faults.NewInjector(faults.Scenario{
+				Seed:        uint64(i + 1),
+				AbortRate:   0.15,
+				AbortMinOps: 1,
+			}),
+		}
+		s.good.Store(true)
+		gen := 0
+		s.slot = &core.ProxySlot{
+			SlotName:  name,
+			Path:      filepath.Join(dir, name+".sock"),
+			DrainWait: 5 * time.Millisecond,
+			Build: func() *proxy.Proxy {
+				gen++
+				cfg := proxy.Config{
+					Name:                 fmt.Sprintf("%s-g%d", name, gen),
+					Role:                 proxy.RoleEdge,
+					ReadyGate:            s.win.Gate,
+					TakeoverReadyTimeout: 20 * time.Second,
+					AcceptFaults:         s.inj,
+					Ledger:               s.led,
+					Generation:           gen,
+				}
+				if s.good.Load() {
+					cfg.StaticContent = map[string][]byte{"/hello": []byte("hello from " + name)}
+				}
+				return proxy.New(cfg, s.reg)
+			},
+		}
+		if err := s.slot.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.slot.Close)
+		s.webAddr = s.slot.Current().Addr(proxy.VIPWeb)
+		s.node = fleet.ProxyNode(fmt.Sprintf("vip-%02d", i), s.slot, s.reg, func() string { return s.webAddr }, "/hello", s.win)
+		s.node.Disruption = s.led.Report
+		sims[i] = s
+	}
+	return sims
+}
+
+// TestFleetChaosTelemetryAttribution rolls a good build across 24 nodes
+// while every node's accept path randomly aborts connections, then
+// demands exact books: injected == attributed, unattributed == 0.
+func TestFleetChaosTelemetryAttribution(t *testing.T) {
+	sims := newTelemetrySimFleet(t, 24, 10*time.Second)
+	nodes := make([]*fleet.Node, len(sims))
+	for i, s := range sims {
+		nodes[i] = s.node
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, s := range sims {
+		wg.Add(1)
+		go func(s *telemetrySimNode) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				getHello(s.webAddr) // aborts are expected; outcome irrelevant
+			}
+		}(s)
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	// The gate must tolerate the injected chaos (it is background noise on
+	// old AND new generation alike) while the telemetry channel watches.
+	cfg := fleet.Config{
+		Name:          "telemetry-chaos",
+		CanarySize:    2,
+		GrowthFactor:  2,
+		HealthWindow:  300 * time.Millisecond,
+		ProbeInterval: 20 * time.Millisecond,
+		WindowTimeout: 10 * time.Second,
+		Gate: fleet.GateConfig{
+			MaxErrorRateDelta:   0.9,
+			MaxProbeFailureRate: 0.95,
+			MaxDisruptionRate:   0.9,
+		},
+	}
+	o, err := fleet.New(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Run(); err != nil {
+		t.Fatalf("rollout: %v (status %+v)", err, o.Status())
+	}
+	st := o.Status()
+	if st.State != fleet.StateDone {
+		t.Fatalf("rollout state %q (reason %q), want done", st.State, st.Reason)
+	}
+
+	// Live batch telemetry was collected for every batch, from scrapes.
+	if len(st.Telemetry) == 0 {
+		t.Fatal("no batch telemetry collected")
+	}
+	var batchRequests int64
+	for _, bt := range st.Telemetry {
+		if bt.ScrapedNodes != len(bt.Nodes) {
+			t.Fatalf("batch %d scraped %d of %d nodes: %+v", bt.Batch, bt.ScrapedNodes, len(bt.Nodes), bt)
+		}
+		batchRequests += bt.Requests
+	}
+	if batchRequests == 0 {
+		t.Fatal("batch telemetry windows saw no traffic")
+	}
+
+	close(stop)
+	wg.Wait()
+	// Join in-flight handlers so every late fault is recorded before the
+	// books are audited.
+	for _, s := range sims {
+		s.slot.Close()
+	}
+
+	var injected int64
+	for _, s := range sims {
+		injected += int64(s.inj.InjectedTotal())
+	}
+	if injected == 0 {
+		t.Fatal("chaos injected nothing; test is vacuous")
+	}
+
+	tele := &fleet.Telemetry{Nodes: nodes}
+	rep := tele.Scrape()
+	if rep.ScrapedNodes != len(sims) {
+		t.Fatalf("scraped %d of %d nodes", rep.ScrapedNodes, len(sims))
+	}
+	if rep.Requests == 0 || rep.Latency.Count == 0 || rep.LatencyP99 <= 0 {
+		t.Fatalf("fleet report missing traffic: requests=%d latency count=%d p99=%v",
+			rep.Requests, rep.Latency.Count, rep.LatencyP99)
+	}
+	// The books: every injected fault is one attributed ledger event.
+	if got := rep.Disruption.ByKind["fault"]; got != injected {
+		t.Fatalf("ledger fault events = %d, injectors fired %d", got, injected)
+	}
+	if rep.Disruption.Unattributed != 0 {
+		t.Fatalf("unattributed terminal events: %d", rep.Disruption.Unattributed)
+	}
+	var attributed int64
+	for _, c := range rep.CausePhase {
+		if strings.HasPrefix(c.Cause, "injected:") {
+			attributed += c.Count
+		}
+	}
+	if attributed != injected {
+		t.Fatalf("cause-phase cells attribute %d of %d injected faults: %+v",
+			attributed, injected, rep.CausePhase)
+	}
+
+	// The cross-generation phase stamp: after a promoted rollout every
+	// ledger must sit at serving/2, not stuck on the old generation's
+	// drain.
+	for _, s := range sims {
+		if phase, gen := s.led.Phase(); phase != "serving" || gen != 2 {
+			t.Fatalf("%s ledger phase %s/%d after promote, want serving/2", s.name, phase, gen)
+		}
+	}
+}

@@ -83,8 +83,15 @@ func NewHistogram(maxSamples int) *Histogram {
 	return &Histogram{maxSamples: maxSamples, min: math.Inf(1), max: math.Inf(-1)}
 }
 
-// Observe records a sample.
+// Observe records a sample. Non-finite values (NaN, ±Inf) are dropped:
+// a single NaN would otherwise poison the running sum — and with it
+// every Mean and Prometheus _sum line until process restart — and an
+// Inf pins Min/Max forever. Dropping keeps snapshots finite by
+// construction.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.count++
@@ -315,18 +322,20 @@ func (t *Timeline) Start() time.Time { return t.start }
 // Registry is a named collection of metrics. Names are free-form; by
 // convention they are dotted paths like "proxy.http.status.500".
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	histograms  map[string]*Histogram
+	atomicHists map[string]*AtomicHistogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		histograms:  make(map[string]*Histogram),
+		atomicHists: make(map[string]*AtomicHistogram),
 	}
 }
 
@@ -362,6 +371,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if !ok {
 		h = NewHistogram(0)
 		r.histograms[name] = h
+	}
+	return h
+}
+
+// AtomicHistogram returns the named atomic (bucketed) histogram,
+// creating it over bounds if needed. Empty bounds mean
+// DefaultLatencyBuckets. Callers on a hot path should look the
+// histogram up once and hold the pointer; the map access takes the
+// registry lock.
+func (r *Registry) AtomicHistogram(name string, bounds ...float64) *AtomicHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.atomicHists[name]
+	if !ok {
+		h = NewAtomicHistogram(bounds)
+		r.atomicHists[name] = h
 	}
 	return h
 }
@@ -402,9 +427,10 @@ func (r *Registry) CounterNames() []string {
 // RegistrySnapshot is a plain copy of every metric in a Registry at one
 // instant, shared by Dump, the Prometheus renderer, and release reports.
 type RegistrySnapshot struct {
-	Counters   map[string]int64    `json:"counters"`
-	Gauges     map[string]int64    `json:"gauges"`
-	Histograms map[string]Snapshot `json:"histograms"`
+	Counters         map[string]int64          `json:"counters"`
+	Gauges           map[string]int64          `json:"gauges"`
+	Histograms       map[string]Snapshot       `json:"histograms"`
+	AtomicHistograms map[string]AtomicSnapshot `json:"atomic_histograms,omitempty"`
 }
 
 // Snapshot captures every counter, gauge, and histogram in the registry.
@@ -412,11 +438,13 @@ type RegistrySnapshot struct {
 func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.Lock()
 	snap := RegistrySnapshot{
-		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
-		Histograms: make(map[string]Snapshot, len(r.histograms)),
+		Counters:         make(map[string]int64, len(r.counters)),
+		Gauges:           make(map[string]int64, len(r.gauges)),
+		Histograms:       make(map[string]Snapshot, len(r.histograms)),
+		AtomicHistograms: make(map[string]AtomicSnapshot, len(r.atomicHists)),
 	}
 	hists := make(map[string]*Histogram, len(r.histograms))
+	ahists := make(map[string]*AtomicHistogram, len(r.atomicHists))
 	for n, c := range r.counters {
 		snap.Counters[n] = c.Value()
 	}
@@ -426,9 +454,15 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	for n, h := range r.histograms {
 		hists[n] = h
 	}
+	for n, h := range r.atomicHists {
+		ahists[n] = h
+	}
 	r.mu.Unlock()
 	for n, h := range hists {
 		snap.Histograms[n] = h.Snapshot()
+	}
+	for n, h := range ahists {
+		snap.AtomicHistograms[n] = h.Snapshot()
 	}
 	return snap
 }
@@ -447,6 +481,10 @@ func (r *Registry) Dump() string {
 	for n, s := range snap.Histograms {
 		rows = append(rows, fmt.Sprintf("histogram %s count=%d mean=%g p50=%g p99=%g",
 			n, s.Count, s.Mean, s.P50, s.P99))
+	}
+	for n, s := range snap.AtomicHistograms {
+		rows = append(rows, fmt.Sprintf("atomic-histogram %s count=%d mean=%g p50=%g p99=%g",
+			n, s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.99)))
 	}
 	sort.Strings(rows)
 	out := ""

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 
 	"zdr/internal/metrics"
 )
@@ -59,6 +60,10 @@ type Admin struct {
 	// Daemons use it to expose subsystem state (rollout status, fleet
 	// topology) without the obs package knowing the types.
 	Debug map[string]func() any
+	// Profile mounts the net/http/pprof endpoints under /debug/pprof/.
+	// Daemons gate it behind a -profile flag: the handlers are cheap to
+	// serve but operators should opt in to exposing them.
+	Profile bool
 }
 
 // Handler returns the admin HTTP handler.
@@ -94,6 +99,13 @@ func (a *Admin) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(state)
 	})
+	if a.Profile {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	for name, fn := range a.Debug {
 		fn := fn
 		mux.HandleFunc("/debug/"+name, func(w http.ResponseWriter, req *http.Request) {

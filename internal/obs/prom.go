@@ -30,8 +30,11 @@ func PromName(name string) string {
 
 // RenderPrometheus renders a registry snapshot in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges as their native
-// types, histograms as summaries with quantile labels plus _sum and
-// _count series. Output is sorted by metric name, so it is stable.
+// types, sampled histograms as summaries with quantile labels plus _sum
+// and _count series, and atomic bucket histograms as native histograms
+// with cumulative le-labelled buckets (including the +Inf bucket), so a
+// scraper can histogram_quantile() across nodes. Output is sorted by
+// metric name, so it is stable.
 func RenderPrometheus(snap metrics.RegistrySnapshot) string {
 	var b strings.Builder
 
@@ -67,6 +70,28 @@ func RenderPrometheus(snap metrics.RegistrySnapshot) string {
 			b.WriteString(pn + `{quantile="` + q.label + `"} ` + promFloat(q.v) + "\n")
 		}
 		b.WriteString(pn + "_sum " + promFloat(s.Mean*float64(s.Count)) + "\n")
+		b.WriteString(pn + "_count " + strconv.FormatInt(s.Count, 10) + "\n")
+	}
+
+	ahNames := make([]string, 0, len(snap.AtomicHistograms))
+	for n := range snap.AtomicHistograms {
+		ahNames = append(ahNames, n)
+	}
+	sort.Strings(ahNames)
+	for _, n := range ahNames {
+		s := snap.AtomicHistograms[n]
+		pn := PromName(n)
+		b.WriteString("# TYPE " + pn + " histogram\n")
+		var cum int64
+		for i, c := range s.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(s.Bounds) {
+				le = promFloat(s.Bounds[i])
+			}
+			b.WriteString(pn + `_bucket{le="` + le + `"} ` + strconv.FormatInt(cum, 10) + "\n")
+		}
+		b.WriteString(pn + "_sum " + promFloat(s.Sum) + "\n")
 		b.WriteString(pn + "_count " + strconv.FormatInt(s.Count, 10) + "\n")
 	}
 	return b.String()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"zdr/internal/bufpool"
+	"zdr/internal/disrupt"
 	"zdr/internal/h2t"
 	"zdr/internal/http1"
 	"zdr/internal/mqtt"
@@ -111,6 +112,8 @@ func (p *Proxy) handleEdgeHTTPConn(conn net.Conn) {
 }
 
 func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
+	t0 := time.Now()
+	defer func() { p.latHTTP.Observe(time.Since(t0).Seconds()) }()
 	// Join (or start) the request trace: a client-supplied x-zdr-trace
 	// makes this span a remote child; the context is forwarded over the
 	// tunnel either way so the Origin and app-server spans stitch into
@@ -151,10 +154,12 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 	// our pick and the open; retry once on a fresh session rather than
 	// failing the user request — the race is routine during releases.
 	var st *h2t.Stream
+	tunnelT0 := time.Now()
 	for attempt := 0; attempt < 2; attempt++ {
 		te, err := p.originSessionFor("")
 		if err != nil {
 			p.reg.Counter("edge.http.errors.no_origin").Inc()
+			p.cfg.Ledger.Record(disrupt.KindReset, 0, VIPWeb, "edge:no-origin", err.Error())
 			sp.Fail(err)
 			http1.WriteResponse(conn, http1.NewResponse(503, nil, 0))
 			return false
@@ -167,9 +172,13 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 		if !errors.Is(err, h2t.ErrGoAway) {
 			break
 		}
+		// The session announced GOAWAY between pick and open — routine
+		// during a release; the retry absorbs it.
+		p.cfg.Ledger.Record(disrupt.KindRetry, 0, VIPWeb, "", "goaway between pick and open")
 	}
 	if st == nil {
 		p.reg.Counter("edge.http.errors.open_stream").Inc()
+		p.cfg.Ledger.Record(disrupt.KindReset, 0, VIPWeb, "edge:open-stream", "")
 		sp.Fail(errors.New("proxy: open stream failed"))
 		http1.WriteResponse(conn, http1.NewResponse(502, nil, 0))
 		return false
@@ -189,8 +198,10 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 	}
 
 	respHdr, err := st.RecvHeaders(p.cfg.UpstreamResponseTimeout)
+	p.latTunnel.Observe(time.Since(tunnelT0).Seconds())
 	if err != nil {
 		p.reg.Counter("edge.http.errors.upstream").Inc()
+		p.cfg.Ledger.Record(disrupt.KindTimeout, 0, VIPWeb, "edge:upstream", err.Error())
 		sp.Fail(err)
 		st.Reset()
 		http1.WriteResponse(conn, http1.NewResponse(504, nil, 0))
@@ -442,6 +453,7 @@ func (p *Proxy) pumpUntilSwap(relay *mqttRelay, st *h2t.Stream) bool {
 			// Stream ended without a successful splice: the user is
 			// disrupted (the woutDCR baseline measures exactly this).
 			p.reg.Counter("edge.mqtt.stream_lost").Inc()
+			p.cfg.Ledger.Record(disrupt.KindReset, 0, VIPMQTT, "dcr:stream-lost", relay.userID)
 			return false
 		case c := <-st.Controls():
 			if c.Type == h2t.FrameReconnectSolicitation {
@@ -480,6 +492,7 @@ func (p *Proxy) reconnectThroughAnotherOrigin(relay *mqttRelay, peerTrace string
 		te, err = p.originSessionFor("")
 		if err != nil {
 			p.reg.Counter("edge.mqtt.reconnect.failed").Inc()
+			p.cfg.Ledger.Record(disrupt.KindRetry, 0, VIPMQTT, "", "re_connect: no origin")
 			sp.Fail(err)
 			return false
 		}
@@ -493,6 +506,7 @@ func (p *Proxy) reconnectThroughAnotherOrigin(relay *mqttRelay, peerTrace string
 	st, err := te.sess.OpenStream(streamHdr, false)
 	if err != nil {
 		p.reg.Counter("edge.mqtt.reconnect.failed").Inc()
+		p.cfg.Ledger.Record(disrupt.KindRetry, 0, VIPMQTT, "", "re_connect: open stream failed")
 		sp.Fail(err)
 		return false
 	}
@@ -508,16 +522,21 @@ func (p *Proxy) reconnectThroughAnotherOrigin(relay *mqttRelay, peerTrace string
 			}
 			relay.originAddr = te.addr
 			p.reg.Counter("edge.mqtt.reconnect.ack").Inc()
+			// The DCR splice: the user's connection survived its Origin's
+			// restart by re-attaching through another path.
+			p.cfg.Ledger.Record(disrupt.KindReattach, 0, VIPMQTT, "", relay.userID)
 			sp.SetAttr("result", "ack")
 			return true
 		default:
 			p.reg.Counter("edge.mqtt.reconnect.refused").Inc()
+			p.cfg.Ledger.Record(disrupt.KindRetry, 0, VIPMQTT, "", "re_connect refused")
 			sp.Fail(errors.New("proxy: re_connect refused"))
 			st.Reset()
 			return false
 		}
 	case <-ackTimer.C:
 		p.reg.Counter("edge.mqtt.reconnect.timeout").Inc()
+		p.cfg.Ledger.Record(disrupt.KindTimeout, 0, VIPMQTT, "dcr:reconnect-timeout", relay.userID)
 		sp.Fail(errors.New("proxy: connect_ack timeout"))
 		st.Reset()
 		return false

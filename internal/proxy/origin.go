@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"zdr/internal/bufpool"
+	"zdr/internal/disrupt"
 	"zdr/internal/h2t"
 	"zdr/internal/http1"
 	"zdr/internal/mqtt"
@@ -181,7 +182,11 @@ func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID, trace strin
 	if err != nil {
 		p.reg.Counter("origin.mqtt.broker_dial_failed").Inc()
 		if resume {
+			// The Edge falls back to its old stream; not yet terminal.
+			p.cfg.Ledger.Record(disrupt.KindRetry, 0, VIPTunnel, "", "resume: broker dial failed")
 			st.SendControl(h2t.FrameConnectRefuse, nil)
+		} else {
+			p.cfg.Ledger.Record(disrupt.KindReset, 0, VIPTunnel, "origin:broker-dial-failed", userID)
 		}
 		fail(err)
 		st.Reset()
@@ -203,6 +208,7 @@ func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID, trace strin
 		bconn.SetReadDeadline(time.Time{})
 		if err != nil || ack.Type != mqtt.CONNACK || ack.ReturnCode != mqtt.ConnAccepted || !ack.SessionPresent {
 			p.reg.Counter("origin.mqtt.resume_refused").Inc()
+			p.cfg.Ledger.Record(disrupt.KindRetry, 0, VIPTunnel, "", "resume refused by broker")
 			st.SendControl(h2t.FrameConnectRefuse, nil)
 			bconn.Close()
 			fail(errors.New("proxy: broker refused resume"))
@@ -210,6 +216,7 @@ func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID, trace strin
 			return
 		}
 		p.reg.Counter("origin.mqtt.resume_ack").Inc()
+		p.cfg.Ledger.Record(disrupt.KindReattach, 0, VIPTunnel, "", userID)
 		if err := st.SendControl(h2t.FrameConnectAck, nil); err != nil {
 			bconn.Close()
 			fail(err)
@@ -263,6 +270,8 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 		}
 	}
 	p.reg.Counter("origin.http.requests").Inc()
+	t0 := time.Now()
+	defer func() { p.latHTTP.Observe(time.Since(t0).Seconds()) }()
 
 	remote, _ := obs.ParseSpanContext(hdr[obs.TraceHeader])
 	sp := p.cfg.Trace.StartSpan("origin.http", remote)
@@ -302,6 +311,7 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 			attSp.Fail(err)
 			attSp.End()
 			p.reg.Counter("origin.http.attempt_errors").Inc()
+			p.cfg.Ledger.Record(disrupt.KindRetry, 0, VIPTunnel, "", "app-server attempt failed: "+err.Error())
 			// Back off before redialing: a restarting app server needs a
 			// moment to rebind (§4.4). PPR replays (the 379 path below)
 			// are not delayed — the hand-back is an invitation to resend
@@ -324,6 +334,7 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 			}
 			replay = partial
 			p.reg.Counter("origin.http.ppr_replays").Inc()
+			p.cfg.Ledger.Record(disrupt.KindRetry, 0, VIPTunnel, "", "379 hand-back; replaying")
 			continue
 		}
 		// Success (or a terminal app error): relay to the Edge.
@@ -335,6 +346,11 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 	}
 	// All attempts failed: the paper's fallback — a standard 500.
 	p.reg.Counter("origin.http.ppr_exhausted").Inc()
+	detail := ""
+	if lastErr != nil {
+		detail = lastErr.Error()
+	}
+	p.cfg.Ledger.Record(disrupt.KindReset, 0, VIPTunnel, "origin:ppr-exhausted", detail)
 	sp.Fail(lastErr)
 	st.SendHeaders(map[string]string{"status": "500"}, true)
 }

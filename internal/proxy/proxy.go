@@ -28,9 +28,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zdr/internal/consistent"
+	"zdr/internal/disrupt"
 	"zdr/internal/faults"
 	"zdr/internal/metrics"
 	"zdr/internal/obs"
@@ -134,6 +136,17 @@ type Config struct {
 	// TakeoverReadyTimeout bounds the sender-side post-commit wait for
 	// the receiver's READY frame; zero means takeover.DefaultReadyTimeout.
 	TakeoverReadyTimeout time.Duration
+
+	// Ledger, when non-nil, receives connection-level disruption events:
+	// accepts, hand-offs, drains, undos, terminal resets/timeouts with
+	// their (cause, phase, generation) attribution, and — when Faults /
+	// AcceptFaults are set — one Fault event per injected fault (the
+	// injectors' observers are claimed by New, so give each proxy its own
+	// injectors when ledger attribution matters). Nil disables recording.
+	Ledger *disrupt.Ledger
+	// Generation identifies this process generation in ledger
+	// attribution and release-phase stamps.
+	Generation int
 }
 
 func (c *Config) fill() {
@@ -186,6 +199,18 @@ type Proxy struct {
 	// quic is the Edge's UDP stack (nil unless EnableQUIC).
 	quic *quicx.Server
 
+	// connSeq hands out per-instance connection ordinals for ledger
+	// attribution of accepted connections.
+	connSeq atomic.Uint64
+	// latHTTP is the hot-path request-latency histogram
+	// (edge.http.latency at the Edge, origin.http.latency at the Origin).
+	latHTTP *metrics.AtomicHistogram
+	// latTunnel measures the Edge's tunnel round trip (open stream →
+	// response headers), isolating upstream time from client time.
+	latTunnel *metrics.AtomicHistogram
+	// latQUIC measures the Edge's QUIC-style DSR handler.
+	latQUIC *metrics.AtomicHistogram
+
 	takeSrv   *takeover.Server
 	drainSpan *obs.Span
 	drainCh   chan struct{}
@@ -208,6 +233,26 @@ func New(cfg Config, reg *metrics.Registry) *Proxy {
 	}
 	if cfg.Role == RoleOrigin {
 		p.brokerRing = consistent.NewRing(100, cfg.Brokers...)
+		p.latHTTP = reg.AtomicHistogram("origin.http.latency")
+	} else {
+		p.latHTTP = reg.AtomicHistogram("edge.http.latency")
+		p.latTunnel = reg.AtomicHistogram("edge.tunnel.latency")
+		p.latQUIC = reg.AtomicHistogram("edge.quic.latency")
+	}
+	if cfg.Ledger != nil {
+		// The release-phase stamp moves when this generation actually takes
+		// the serving role (Listen for a fresh bind, TakeoverFromWith after
+		// READY), not at construction: a ledger shared across generations
+		// must keep attributing to the generation that is really serving.
+		// Mirror every injected fault into the ledger so the chaos suite
+		// can reconcile injected vs observed failures exactly.
+		observe := func(op faults.Op) {
+			cfg.Ledger.Record(disrupt.KindFault, 0, "", "injected:"+op.String(), "")
+		}
+		cfg.Faults.SetObserver(observe)
+		if cfg.AcceptFaults != cfg.Faults {
+			cfg.AcceptFaults.SetObserver(observe)
+		}
 	}
 	return p
 }
@@ -250,7 +295,11 @@ func (p *Proxy) Listen() error {
 	if err != nil {
 		return err
 	}
-	return p.Adopt(set)
+	if err := p.Adopt(set); err != nil {
+		return err
+	}
+	p.syncLedgerPhase() // fresh bind: this generation is the serving one
+	return nil
 }
 
 // tcpHandler returns the connection handler a named TCP VIP is served
@@ -297,7 +346,7 @@ func (p *Proxy) Adopt(set *takeover.ListenerSet) error {
 			continue
 		}
 		if ln := set.TCP(v.Name); ln != nil {
-			p.serveLoop(ln, handler)
+			p.serveLoop(v.Name, ln, handler)
 		}
 	}
 	if p.cfg.Role == RoleEdge {
@@ -320,11 +369,16 @@ func (p *Proxy) Adopt(set *takeover.ListenerSet) error {
 // UDP). The instance name is prefixed so experiments can attribute which
 // process served a flow across a takeover.
 func (p *Proxy) quicHandler(conn quicx.ConnID, payload []byte) []byte {
+	t0 := time.Now()
 	p.reg.Counter("edge.quic.requests").Inc()
+	resp := []byte(p.cfg.Name + "|404")
 	if body, ok := p.cfg.StaticContent[string(payload)]; ok {
-		return append([]byte(p.cfg.Name+"|"), body...)
+		resp = append([]byte(p.cfg.Name+"|"), body...)
 	}
-	return []byte(p.cfg.Name + "|404")
+	// Latency lands in the proxy-level handler, not quicx's packet loop:
+	// the datagram hot path (HandleData) stays untouched.
+	p.latQUIC.Observe(time.Since(t0).Seconds())
+	return resp
 }
 
 // dialUpstream dials an upstream address (origin tunnel, app server,
@@ -334,8 +388,9 @@ func (p *Proxy) dialUpstream(addr string) (net.Conn, error) {
 	return p.cfg.Faults.Dial("tcp", addr, p.cfg.DialTimeout)
 }
 
-// serveLoop runs an accept loop feeding handler goroutines.
-func (p *Proxy) serveLoop(ln *net.TCPListener, handler func(net.Conn)) {
+// serveLoop runs an accept loop feeding handler goroutines. vip names
+// the listener for ledger attribution of accepted connections.
+func (p *Proxy) serveLoop(vip string, ln *net.TCPListener, handler func(net.Conn)) {
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
@@ -344,6 +399,7 @@ func (p *Proxy) serveLoop(ln *net.TCPListener, handler func(net.Conn)) {
 			if err != nil {
 				return // listener handle closed (drain or shutdown)
 			}
+			p.cfg.Ledger.Record(disrupt.KindAccept, p.connSeq.Add(1), vip, "", "")
 			c := p.cfg.AcceptFaults.Conn(conn)
 			p.wg.Add(1)
 			go func() {
@@ -398,6 +454,27 @@ func (p *Proxy) StopTakeoverServer() {
 	if srv != nil {
 		srv.Close()
 	}
+}
+
+// syncLedgerPhase stamps the ledger with the same release phase
+// ReleaseState reports, so disruption attribution tracks the release
+// state machine. Call after every phase transition.
+func (p *Proxy) syncLedgerPhase() {
+	if p.cfg.Ledger == nil {
+		return
+	}
+	p.mu.Lock()
+	draining := p.draining
+	awaiting := p.awaitingReady
+	p.mu.Unlock()
+	phase := "serving"
+	switch {
+	case awaiting:
+		phase = "committed-awaiting-ready"
+	case draining:
+		phase = "draining"
+	}
+	p.cfg.Ledger.SetPhase(phase, p.cfg.Generation)
 }
 
 // Draining reports whether the proxy is in its drain phase.
@@ -481,6 +558,7 @@ func (p *Proxy) ServeTakeover(path string) error {
 				p.awaitingReady = true
 				p.mu.Unlock()
 			}
+			p.cfg.Ledger.Record(disrupt.KindHandoff, 0, "", "", "takeover committed; draining")
 			p.startDrainingTraced(res.PeerTrace)
 		},
 		OnReady: func(takeover.Result) {
@@ -490,6 +568,10 @@ func (p *Proxy) ServeTakeover(path string) error {
 			p.awaitingReady = false
 			p.mu.Unlock()
 			p.reg.Counter("proxy.takeover_readies").Inc()
+			// No ledger re-stamp here: the receiver stamped "serving" for
+			// the new generation when it sent READY, and this instance's
+			// remaining drain tail must not regress a shared ledger to
+			// "draining" under the old generation forever.
 		},
 		OnUndo: func(rearmed *takeover.ListenerSet, cause error) {
 			// The lease broke before READY: the receiver is presumed dead
@@ -639,6 +721,8 @@ func (p *Proxy) TakeoverFromWith(path string, opts TakeoverOptions) (*takeover.R
 	spF.SetAttr("proto", fmt.Sprintf("%d", res.Proto))
 	spF.End()
 	p.reg.Counter("proxy.takeovers").Inc()
+	p.cfg.Ledger.Record(disrupt.KindHandoff, 0, "", "", "takeover received; serving")
+	p.syncLedgerPhase() // post-READY the release is decided: serving, new generation
 	hand.End()
 	return res, nil
 }
@@ -676,6 +760,8 @@ func (p *Proxy) startDrainingTraced(peerTrace string) {
 	p.mu.Unlock()
 	close(p.drainCh)
 	p.reg.Counter("proxy.drains").Inc()
+	p.syncLedgerPhase()
+	p.cfg.Ledger.Record(disrupt.KindDrain, 0, "", "", "drain started")
 
 	// Closing our TCP handles stops the accept loops without closing the
 	// shared sockets (the new instance's FDs keep them alive). When no
@@ -749,12 +835,14 @@ func (p *Proxy) undoDrain(rearmed *takeover.ListenerSet, cause error) {
 			ln.Close()
 			continue
 		}
-		p.serveLoop(ln, handler)
+		p.serveLoop(v.Name, ln, handler)
 	}
 	if quic != nil {
 		quic.UndoDrain()
 	}
 	p.reg.Counter("proxy.drain_undos").Inc()
+	p.syncLedgerPhase()
+	p.cfg.Ledger.Record(disrupt.KindUndo, 0, "", "", fmt.Sprintf("drain undone: %v", cause))
 	if drainSpan != nil {
 		drainSpan.Fail(fmt.Errorf("proxy: drain undone: %w", cause))
 		drainSpan.End()
