@@ -8,6 +8,16 @@
 // to move the numbers, and quote before/after in the PR description (see
 // DESIGN.md §8). CI runs the same benchmarks with -benchtime 1x as a
 // smoke test — compile-and-run coverage, not a performance gate.
+//
+// -takeover-conns N appends a takeover curve: the idleconns demo run at
+// several connection scales (auto-clamped to the fd budget), recording
+// hand-off wall time, the O(1) epoch-bump cost over a million-entry flow
+// table, reconnect-storm absorption, and peak RSS.
+//
+// -compare FILE re-runs the micro-benchmarks and gates against a stored
+// baseline: after calibrating out machine speed via the median new/old
+// ns-per-op ratio, any benchmark more than 20% above the calibrated
+// expectation — or allocating >20% more per op — fails the run.
 package main
 
 import (
@@ -19,8 +29,11 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+
+	"zdr/internal/idleconns"
 )
 
 // hotPackages are the packages holding data-plane micro-benchmarks.
@@ -44,15 +57,27 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// TakeoverPoint is one idleconns demo run on the takeover curve.
+type TakeoverPoint struct {
+	Conns           int     `json:"conns"`
+	Flows           int     `json:"flows"`
+	TakeoverMs      float64 `json:"takeover_ms"`
+	EpochBumpNs     int64   `json:"epoch_bump_ns"`
+	EpochBumpWrites uint64  `json:"epoch_bump_writes"`
+	ReconnectMs     float64 `json:"reconnect_ms"`
+	PeakRSSKB       int64   `json:"peak_rss_kb"`
+}
+
 // Baseline is the emitted document.
 type Baseline struct {
-	Command    string   `json:"command"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	Benchtime  string   `json:"benchtime"`
-	CPU        string   `json:"cpu"`
-	Benchmarks []Result `json:"benchmarks"`
+	Command       string          `json:"command"`
+	GoVersion     string          `json:"go_version"`
+	GOOS          string          `json:"goos"`
+	GOARCH        string          `json:"goarch"`
+	Benchtime     string          `json:"benchtime"`
+	CPU           string          `json:"cpu"`
+	Benchmarks    []Result        `json:"benchmarks"`
+	TakeoverCurve []TakeoverPoint `json:"takeover_curve,omitempty"`
 }
 
 func main() {
@@ -60,6 +85,9 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	cpu := flag.String("cpu", "4", "go test -cpu value")
 	pattern := flag.String("bench", ".", "go test -bench pattern")
+	takeoverConns := flag.Int("takeover-conns", 0, "run the idleconns takeover demo curve up to this many connections (0 = skip)")
+	takeoverFlows := flag.Int("takeover-flows", 1<<20, "flow-table population for the takeover curve")
+	compare := flag.String("compare", "", "compare against this baseline file instead of writing one; exit 1 on >20% regression")
 	flag.Parse()
 
 	args := []string{
@@ -89,6 +117,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *compare != "" {
+		if err := compareBaseline(*compare, results); err != nil {
+			fmt.Fprintf(os.Stderr, "zdr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("zdr-bench: no regressions against", *compare)
+		return
+	}
+
 	doc := Baseline{
 		Command:    "go run ./cmd/zdr-bench -benchtime " + *benchtime + " -cpu " + *cpu,
 		GoVersion:  runtime.Version(),
@@ -97,6 +134,14 @@ func main() {
 		Benchtime:  *benchtime,
 		CPU:        *cpu,
 		Benchmarks: results,
+	}
+	if *takeoverConns > 0 {
+		curve, err := takeoverCurve(*takeoverConns, *takeoverFlows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zdr-bench: takeover curve: %v\n", err)
+			os.Exit(1)
+		}
+		doc.TakeoverCurve = curve
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -113,6 +158,112 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("zdr-bench: wrote %d results to %s\n", len(results), *out)
+}
+
+// takeoverCurve runs the idleconns demo at quarter, half, and full scale
+// (each clamped to the fd budget by the harness itself) so the baseline
+// records how hand-off time and storm absorption grow with the herd.
+func takeoverCurve(maxConns, flows int) ([]TakeoverPoint, error) {
+	scales := []int{maxConns / 4, maxConns / 2, maxConns}
+	var curve []TakeoverPoint
+	for _, conns := range scales {
+		if conns == 0 {
+			continue
+		}
+		rep, err := idleconns.Run(idleconns.Config{
+			Conns: conns,
+			Flows: flows,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("  "+format, args...)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%d conns: %w", conns, err)
+		}
+		curve = append(curve, TakeoverPoint{
+			Conns:           rep.Conns,
+			Flows:           rep.FlowTableFlows,
+			TakeoverMs:      rep.TakeoverMs,
+			EpochBumpNs:     rep.EpochBumpNs,
+			EpochBumpWrites: rep.EpochBumpWrites,
+			ReconnectMs:     rep.ReconnectMs,
+			PeakRSSKB:       rep.PeakRSSKB,
+		})
+		// The harness clamps to the fd budget; once we hit the ceiling,
+		// larger requested scales would just repeat the same point.
+		if rep.Conns < conns {
+			break
+		}
+	}
+	return curve, nil
+}
+
+// compareBaseline gates the fresh results against a stored baseline.
+// Absolute ns/op is machine-dependent, so the gate first calibrates: the
+// median new/old ratio across all shared benchmarks estimates this
+// machine's speed relative to the baseline machine; a benchmark regresses
+// only if it is >20% slower than that calibrated expectation. Allocs/op
+// are machine-independent and gate directly at +20%.
+func compareBaseline(path string, fresh []Result) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	old := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		old[r.Package+"/"+r.Name] = r
+	}
+
+	type pair struct {
+		key      string
+		ratio    float64
+		now, was Result
+	}
+	var pairs []pair
+	var ratios []float64
+	for _, r := range fresh {
+		key := r.Package + "/" + r.Name
+		o, ok := old[key]
+		if !ok || o.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		p := pair{key: key, ratio: r.NsPerOp / o.NsPerOp, now: r, was: o}
+		pairs = append(pairs, p)
+		ratios = append(ratios, p.ratio)
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("no benchmarks shared with baseline %s", path)
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+
+	const tolerance = 1.20
+	var failures []string
+	for _, p := range pairs {
+		if p.ratio > median*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (%.2fx; calibrated limit %.2fx)",
+				p.key, p.now.NsPerOp, p.was.NsPerOp, p.ratio, median*tolerance))
+		}
+		if p.now.AllocsPerOp > p.was.AllocsPerOp &&
+			float64(p.now.AllocsPerOp) > float64(p.was.AllocsPerOp)*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d",
+				p.key, p.now.AllocsPerOp, p.was.AllocsPerOp))
+		}
+	}
+	fmt.Printf("zdr-bench: compared %d benchmarks (median speed ratio %.2fx)\n", len(pairs), median)
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // parseBenchOutput extracts benchmark lines from go test output, tracking

@@ -9,6 +9,14 @@
 //
 //	zdr-loadgen -web 127.0.0.1:8080 -target /static/ping -duration 30s
 //	zdr-loadgen -web 127.0.0.1:8080 -mqtt 127.0.0.1:8883 -mqtt-conns 20
+//
+// Idle-connection storm mode holds a herd of established keep-alive
+// connections (the population an event-loop edge parks in epoll),
+// counts any that the server severs while idle — e.g. a release
+// terminating its drained generation — and then wakes every survivor at
+// once, re-dialing casualties, to measure reconnect-storm absorption:
+//
+//	zdr-loadgen -web 127.0.0.1:8080 -idle-conns 5000 -duration 30s
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 type stats struct {
 	ok, connReset, streamAbort, timeout, writeTimeout atomic.Int64
 	mqttDrops                                         atomic.Int64
+	idleDrops, stormOK, stormReconnect, stormFail     atomic.Int64
 	latency                                           sync.Mutex
 	latencies                                         []float64
 }
@@ -39,6 +48,7 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "how long to run")
 	concurrency := flag.Int("c", 4, "concurrent HTTP workers")
 	mqttConns := flag.Int("mqtt-conns", 0, "persistent MQTT connections to hold")
+	idleConns := flag.Int("idle-conns", 0, "established keep-alive HTTP connections to hold idle, then wake all at once")
 	timeout := flag.Duration("timeout", time.Second, "per-request timeout")
 	flag.Parse()
 	if *web == "" && *mqttAddr == "" {
@@ -72,6 +82,12 @@ func main() {
 		}
 	}
 
+	var idleHerd []net.Conn
+	if *web != "" && *idleConns > 0 {
+		idleHerd = establishIdleHerd(&st, *web, *idleConns)
+		fmt.Printf("holding %d idle connections\n", len(idleHerd))
+	}
+
 	if *mqttAddr != "" && *mqttConns > 0 {
 		for i := 0; i < *mqttConns; i++ {
 			wg.Add(1)
@@ -86,6 +102,11 @@ func main() {
 	time.Sleep(*duration)
 	close(stop)
 	wg.Wait()
+
+	var stormMs float64
+	if len(idleHerd) > 0 {
+		stormMs = wakeStorm(&st, *web, *target, idleHerd, *timeout)
+	}
 
 	total := st.ok.Load() + st.connReset.Load() + st.streamAbort.Load() + st.timeout.Load() + st.writeTimeout.Load()
 	fmt.Printf("\nHTTP requests: %d\n", total)
@@ -106,6 +127,84 @@ func main() {
 	if *mqttConns > 0 {
 		fmt.Printf("MQTT connections: %d held, %d dropped\n", *mqttConns, st.mqttDrops.Load())
 	}
+	if len(idleHerd) > 0 {
+		fmt.Printf("Idle herd: %d held, %d severed while idle\n", len(idleHerd), st.idleDrops.Load())
+		fmt.Printf("  storm: %d ok, %d via reconnect, %d failed, %.1fms wall\n",
+			st.stormOK.Load(), st.stormReconnect.Load(), st.stormFail.Load(), stormMs)
+		if st.stormFail.Load() > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// establishIdleHerd dials n keep-alive connections and leaves them idle.
+// Each gets one warm-up request so a parked-vs-goroutine edge treats it
+// as an established, previously-served session.
+func establishIdleHerd(st *stats, addr string, n int) []net.Conn {
+	herd := make([]net.Conn, 0, n)
+	for i := 0; i < n; i++ {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "idle herd: dial %d/%d: %v\n", i, n, err)
+			break
+		}
+		herd = append(herd, conn)
+	}
+	return herd
+}
+
+// wakeStorm fires one request on every held connection simultaneously —
+// the reconnect storm a terminated generation produces. Severed conns
+// re-dial once; only a failed re-dial counts as client-visible.
+func wakeStorm(st *stats, addr, target string, herd []net.Conn, timeout time.Duration) float64 {
+	fmt.Printf("waking %d idle connections ...\n", len(herd))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, conn := range herd {
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			if keepAliveGet(conn, target, timeout) == nil {
+				st.stormOK.Add(1)
+				return
+			}
+			st.idleDrops.Add(1)
+			re, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				st.stormFail.Add(1)
+				return
+			}
+			defer re.Close()
+			if keepAliveGet(re, target, timeout) == nil {
+				st.stormReconnect.Add(1)
+			} else {
+				st.stormFail.Add(1)
+			}
+		}(conn)
+	}
+	wg.Wait()
+	return float64(time.Since(start).Microseconds()) / 1e3
+}
+
+// keepAliveGet runs one GET on an already-established connection.
+func keepAliveGet(conn net.Conn, target string, timeout time.Duration) error {
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", target, nil, 0)); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	resp, err := http1.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return err
+	}
+	if _, err := http1.ReadFullBody(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 type outcome int

@@ -1,0 +1,236 @@
+package faults_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zdr/internal/core"
+	"zdr/internal/faults"
+	"zdr/internal/http1"
+	"zdr/internal/netx"
+	"zdr/internal/proxy"
+)
+
+// TestChaosLoopEdgeRestartZeroDisruption drives an event-loop Edge
+// (idle connections parked in epoll, not goroutines) through a Socket
+// Takeover restart while transport faults run on the upstream dial path.
+// Each generation owns its own EventLoop — epoll interest is per-process
+// state and must NOT survive the hand-off; the new generation re-registers
+// accepted fds in its own loop. Fresh-connection load sees zero failures,
+// and keep-alive connections parked on the old generation keep serving
+// until its drain ends.
+func TestChaosLoopEdgeRestartZeroDisruption(t *testing.T) {
+	dialFaults := faults.NewInjector(faults.Scenario{
+		Seed:             515,
+		DialDelayRate:    0.3,
+		DialDelayMax:     5 * time.Millisecond,
+		WriteDelayRate:   0.15,
+		WriteDelayMax:    2 * time.Millisecond,
+		PartialWriteRate: 0.2,
+		ReadStallRate:    0.15,
+		ReadStallMax:     2 * time.Millisecond,
+	})
+
+	// Each proxy generation gets a fresh loop; close them all at the end.
+	var loopsMu sync.Mutex
+	var loops []*netx.EventLoop
+	t.Cleanup(func() {
+		loopsMu.Lock()
+		defer loopsMu.Unlock()
+		for _, l := range loops {
+			l.Close()
+		}
+	})
+	newLoop := func() *netx.EventLoop {
+		loop, err := netx.NewEventLoop(netx.EventLoopConfig{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loopsMu.Lock()
+		loops = append(loops, loop)
+		loopsMu.Unlock()
+		return loop
+	}
+
+	tp := buildChaosTopo(t, nil, func(cfg *proxy.Config) {
+		cfg.Faults = dialFaults
+		cfg.ConnLoop = newLoop()
+	})
+
+	addr := tp.edge.Current().Addr(proxy.VIPWeb)
+	oldGen := tp.edge.Current()
+	loopsMu.Lock()
+	oldLoop := loops[len(loops)-1]
+	loopsMu.Unlock()
+
+	// Park keep-alive conns on generation 1's loop.
+	const parked = 24
+	parkedConns := make([]net.Conn, 0, parked)
+	for i := 0; i < parked; i++ {
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		parkedConns = append(parkedConns, c)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for oldLoop.Watched() < parked {
+		if time.Now().After(deadline) {
+			t.Fatalf("gen-1 loop Watched = %d, want %d", oldLoop.Watched(), parked)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Fresh-connection load across the restart.
+	stop := make(chan struct{})
+	var ok, failed atomic.Int64
+	var lastErr atomic.Value
+	done := httpLoad(addr, stop, &ok, &failed, &lastErr)
+	time.Sleep(100 * time.Millisecond)
+
+	if err := tp.edge.Restart(); err != nil {
+		t.Fatalf("edge restart: %v", err)
+	}
+
+	// While gen 1 drains, its parked conns still serve from its loop.
+	for i, c := range parkedConns {
+		if _, err := http1.WriteRequest(c, http1.NewRequest("GET", "/cached", nil, 0)); err != nil {
+			t.Fatalf("parked conn %d write during drain: %v", i, err)
+		}
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		resp, err := http1.ReadResponse(bufio.NewReader(c))
+		if err != nil {
+			t.Fatalf("parked conn %d read during drain: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("parked conn %d status %d during drain", i, resp.StatusCode)
+		}
+		http1.ReadFullBody(resp.Body)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	<-done
+	if f := failed.Load(); f != 0 {
+		t.Fatalf("%d of %d fresh-conn requests failed across loop-mode restart; last: %v",
+			f, f+ok.Load(), lastErr.Load())
+	}
+	if ok.Load() < 20 {
+		t.Fatalf("only %d requests completed — load loop starved", ok.Load())
+	}
+	if dialFaults.InjectedTotal() == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+
+	// New generation's loop carries its connections; gen 1's parked set is
+	// reaped once the drain window ends (terminate closes them).
+	newGen := tp.edge.Current()
+	if newGen == oldGen {
+		t.Fatal("restart did not swap generations")
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for oldGen.Metrics().GaugeValue("proxy.loop.parked") > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gen-1 parked gauge stuck at %d after drain",
+				oldGen.Metrics().GaugeValue("proxy.loop.parked"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And the surviving generation parks new keep-alive conns in ITS loop.
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	loopsMu.Lock()
+	newLoopRef := loops[len(loops)-1]
+	loopsMu.Unlock()
+	deadline = time.Now().Add(2 * time.Second)
+	for newLoopRef.Watched() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gen-2 loop never parked the new connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosLoopFaultWrappedConnsFallBack pins the loop-mode escape hatch:
+// accept-side fault wrappers hide the raw fd (not a syscall.Conn), so
+// those connections must fall back to goroutine-per-conn service instead
+// of being mis-parked — and still serve correctly under read stalls.
+func TestChaosLoopFaultWrappedConnsFallBack(t *testing.T) {
+	acceptFaults := faults.NewInjector(faults.Scenario{
+		Seed:             616,
+		PartialWriteRate: 0.3,
+		ReadStallRate:    0.2,
+		ReadStallMax:     2 * time.Millisecond,
+	})
+	loop, err := netx.NewEventLoop(netx.EventLoopConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+
+	dir := t.TempDir()
+	gen := 0
+	edge := &core.ProxySlot{
+		SlotName: "edge",
+		Path:     filepath.Join(dir, "edge-loop-fb.sock"),
+		Build: func() *proxy.Proxy {
+			gen++
+			return proxy.New(proxy.Config{
+				Name:          fmt.Sprintf("edge-fb-g%d", gen),
+				Role:          proxy.RoleEdge,
+				DrainPeriod:   100 * time.Millisecond,
+				StaticContent: map[string][]byte{"/cached": []byte("dsr-bytes")},
+				ConnLoop:      loop,
+				AcceptFaults:  acceptFaults,
+			}, nil)
+		},
+	}
+	if err := edge.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(edge.Close)
+
+	addr := edge.Current().Addr(proxy.VIPWeb)
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for i := 0; i < 5; i++ {
+		if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", "/cached", nil, 0)); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		resp, err := http1.ReadResponse(br)
+		if err != nil {
+			t.Fatalf("request %d on fault-wrapped conn: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		http1.ReadFullBody(resp.Body)
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The wrapped conn never entered the loop.
+	if n := loop.Watched(); n != 0 {
+		t.Fatalf("fault-wrapped conn was parked in the loop (Watched = %d)", n)
+	}
+	if got := edge.Current().Metrics().GaugeValue("proxy.loop.parked"); got != 0 {
+		t.Fatalf("parked gauge = %d for fault-wrapped conns", got)
+	}
+	if acceptFaults.InjectedTotal() == 0 {
+		t.Fatal("accept-side fault schedule never fired")
+	}
+}

@@ -30,6 +30,14 @@ func NewFlowCache(capacity int) *FlowCache {
 	if capacity <= 0 {
 		capacity = 1
 	}
+	return newFlowCache(capacity)
+}
+
+// newFlowCache is NewFlowCache without the <=0 clamp: a zero-capacity
+// cache stores nothing. ShardedFlowCache uses it so a capacity smaller
+// than the shard count can hand some shards capacity 0 and still honor
+// the documented total bound.
+func newFlowCache(capacity int) *FlowCache {
 	return &FlowCache{
 		capacity: capacity,
 		order:    list.New(),
@@ -50,6 +58,9 @@ func (c *FlowCache) Get(flow uint64) (string, bool) {
 // Put records flow → backend, evicting the least recently used entry if
 // the cache is full.
 func (c *FlowCache) Put(flow uint64, backend string) {
+	if c.capacity <= 0 {
+		return
+	}
 	if el, ok := c.index[flow]; ok {
 		el.Value.(*flowEntry).backend = backend
 		c.order.MoveToFront(el)
@@ -90,9 +101,12 @@ type ShardedFlowCache struct {
 type flowShard struct {
 	mu  sync.Mutex
 	lru *FlowCache
-	// Pad each shard to its own cache line so shard locks on adjacent
-	// array slots do not false-share.
-	_ [40]byte
+	// Pad each shard to a 128-byte stride — two cache lines, so adjacent
+	// shard locks neither share a line nor a spatial-prefetch pair (the
+	// adjacent-line prefetcher pulls lines in 128-byte pairs, which would
+	// otherwise re-couple shards 2k and 2k+1). The stride is pinned by
+	// TestFlowShardStride via unsafe.Sizeof.
+	_ [128 - 8 - 8]byte
 }
 
 // DefaultFlowCacheShards is the shard count used when the caller passes
@@ -102,7 +116,12 @@ const DefaultFlowCacheShards = 16
 
 // NewShardedFlowCache creates a cache holding up to capacity flows total,
 // split over shards (rounded up to a power of two; <= 0 selects
-// DefaultFlowCacheShards). Each shard holds ceil(capacity/shards) flows.
+// DefaultFlowCacheShards). Capacity is distributed so per-shard bounds
+// sum to exactly capacity: each shard gets floor(capacity/shards) and the
+// remainder is spread one-per-shard, so the documented "capacity flows
+// total" bound holds even for awkward capacity/shard combinations
+// (ceil-per-shard would admit perShard×shards > capacity — e.g.
+// capacity=1 over 16 shards admitted 16).
 func NewShardedFlowCache(capacity, shards int) *ShardedFlowCache {
 	if shards <= 0 {
 		shards = DefaultFlowCacheShards
@@ -114,10 +133,14 @@ func NewShardedFlowCache(capacity, shards int) *ShardedFlowCache {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	perShard := (capacity + n - 1) / n
+	base, extra := capacity/n, capacity%n
 	c := &ShardedFlowCache{mask: uint64(n - 1), shards: make([]flowShard, n)}
 	for i := range c.shards {
-		c.shards[i].lru = NewFlowCache(perShard)
+		per := base
+		if i < extra {
+			per++
+		}
+		c.shards[i].lru = newFlowCache(per)
 	}
 	return c
 }
@@ -165,6 +188,29 @@ func (c *ShardedFlowCache) Delete(flow uint64) {
 	s.mu.Lock()
 	s.lru.Delete(flow)
 	s.mu.Unlock()
+}
+
+// Swap runs fn under flow's shard lock with the currently cached backend
+// (ok=false when absent) and applies the result atomically: keep=false
+// removes the entry, otherwise next is stored. It exists for Steer's
+// stale-hit path: a Delete-then-Put pair is two critical sections, and a
+// concurrent steer of the same flow interleaving between them can
+// resurrect a just-deleted entry for a backend that went unhealthy in
+// between. fn must not call back into the cache (the shard lock is held).
+func (c *ShardedFlowCache) Swap(flow uint64, fn func(cur string, ok bool) (next string, keep bool)) {
+	s := c.shard(flow)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.lru.Get(flow)
+	next, keep := fn(cur, ok)
+	switch {
+	case !keep:
+		if ok {
+			s.lru.Delete(flow)
+		}
+	case !ok || next != cur:
+		s.lru.Put(flow, next)
+	}
 }
 
 // Len returns the number of cached flows across all shards.

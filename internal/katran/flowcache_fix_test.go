@@ -1,0 +1,218 @@
+package katran
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// TestFlowShardStride pins the false-sharing fix: the old padding was
+// mutex(8) + ptr(8) + [40]byte = 56 bytes, so adjacent shard locks shared
+// cache lines. The stride must be exactly 128 bytes — two lines, one
+// spatial-prefetch pair — so neither a line nor an adjacent-line-prefetch
+// pair couples two shards.
+func TestFlowShardStride(t *testing.T) {
+	if got := unsafe.Sizeof(flowShard{}); got != 128 {
+		t.Fatalf("flowShard is %d bytes, want 128", got)
+	}
+	var shards [2]flowShard
+	if d := uintptr(unsafe.Pointer(&shards[1])) - uintptr(unsafe.Pointer(&shards[0])); d != 128 {
+		t.Fatalf("shard array stride is %d bytes, want 128", d)
+	}
+}
+
+// TestShardedFlowCacheCapacityBound pins the over-admission fix: the old
+// ceil(capacity/n) per-shard split let total Len() reach perShard×n >
+// capacity (capacity=1 over 16 shards admitted 16). Per-shard bounds must
+// now sum to exactly capacity for awkward capacity/shard combinations.
+func TestShardedFlowCacheCapacityBound(t *testing.T) {
+	cases := []struct {
+		capacity, shards int
+	}{
+		{1, 16},  // the reported case: admitted 16 before the fix
+		{5, 4},   // remainder 1
+		{7, 8},   // capacity < shard count
+		{15, 16}, // capacity = shards-1
+		{17, 16}, // capacity = shards+1
+		{100, 16},
+		{1000, 7}, // shards rounds up to 8; 1000 = 8×125
+		{3, 2},
+		{1, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("cap%d_shards%d", tc.capacity, tc.shards), func(t *testing.T) {
+			c := NewShardedFlowCache(tc.capacity, tc.shards)
+			// Sum of per-shard bounds must equal capacity exactly.
+			sum := 0
+			for i := range c.shards {
+				sum += c.shards[i].lru.capacity
+			}
+			if sum != tc.capacity {
+				t.Fatalf("per-shard capacities sum to %d, want %d", sum, tc.capacity)
+			}
+			// Flood with far more flows than capacity; Len must never
+			// exceed it.
+			for f := uint64(0); f < uint64(tc.capacity)*8+64; f++ {
+				c.Put(f, "b")
+				if got := c.Len(); got > tc.capacity {
+					t.Fatalf("Len = %d exceeds capacity %d after %d puts", got, tc.capacity, f+1)
+				}
+			}
+		})
+	}
+}
+
+// TestFlowCacheZeroCapacity: shards handed capacity 0 by the remainder
+// split must store nothing (and not panic).
+func TestFlowCacheZeroCapacity(t *testing.T) {
+	c := newFlowCache(0)
+	c.Put(1, "a")
+	if _, ok := c.Get(1); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d want 0", c.Len())
+	}
+	c.Delete(1) // must not panic
+}
+
+// TestShardedFlowCacheSwap covers the validate-and-replace primitive that
+// fixed Steer's stale-hit race.
+func TestShardedFlowCacheSwap(t *testing.T) {
+	c := NewShardedFlowCache(64, 2)
+
+	// Absent → insert.
+	c.Swap(1, func(cur string, ok bool) (string, bool) {
+		if ok {
+			t.Fatalf("saw %q, want absent", cur)
+		}
+		return "a", true
+	})
+	if name, ok := c.Get(1); !ok || name != "a" {
+		t.Fatalf("after insert swap: %q,%v", name, ok)
+	}
+	// Present → keep as-is (no churn).
+	c.Swap(1, func(cur string, ok bool) (string, bool) {
+		if !ok || cur != "a" {
+			t.Fatalf("saw %q,%v want a,true", cur, ok)
+		}
+		return cur, true
+	})
+	// Present → replace.
+	c.Swap(1, func(cur string, ok bool) (string, bool) { return "b", true })
+	if name, _ := c.Get(1); name != "b" {
+		t.Fatalf("after replace swap: %q", name)
+	}
+	// Present → drop.
+	c.Swap(1, func(cur string, ok bool) (string, bool) { return "", false })
+	if _, ok := c.Get(1); ok {
+		t.Fatal("after drop swap: entry survived")
+	}
+	// Absent → keep=false stays absent.
+	c.Swap(1, func(cur string, ok bool) (string, bool) { return "", false })
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d want 0", c.Len())
+	}
+}
+
+// TestSteerStaleHitNoResurrection pins the Delete-then-Put race fix: the
+// old stale-cache-hit path dropped the shard lock between deleting the
+// stale entry and putting the fresh pick, so a concurrent steer of the
+// same flow could interleave and resurrect a just-deleted entry pointing
+// at a backend that went unhealthy in between. With validate-and-replace
+// under one shard critical section, a flow whose backend is unhealthy must
+// never be served from the cache again — run under -race to also pin the
+// locking. The victim backend flaps health concurrently to keep creating
+// the stale-hit window.
+func TestSteerStaleHitNoResurrection(t *testing.T) {
+	lb := New("t", Config{FlowCacheSize: 1024, FlowCacheShards: 2}, nil)
+	defer lb.Close()
+	lb.AddBackend(Backend{Name: "victim", Addr: "v"}, true)
+	lb.AddBackend(Backend{Name: "stable", Addr: "s"}, true)
+
+	// Find a flow that Maglev maps to victim while it is healthy.
+	var flow uint64
+	for f := uint64(0); ; f++ {
+		b, err := lb.Steer(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name == "victim" {
+			flow = f
+			break
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 1)
+	start := make(chan struct{})
+	const rounds = 2000
+	// Two steer workers fighting over the same flow maximizes the
+	// interleaving window the old two-critical-section path exposed.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				b, err := lb.Steer(flow)
+				if err != nil {
+					continue
+				}
+				// The invariant: the steered backend is healthy in some
+				// recently published snapshot. Since only "victim" flaps,
+				// catching a cached "victim" while it is down is the
+				// resurrection bug.
+				if b.Name == "victim" && !lb.victimHealthyForTest() {
+					// Tolerate the benign snapshot race (pick published
+					// just before the flap) but not a cache-served stale
+					// entry: re-steer immediately — a resurrected cache
+					// entry keeps answering "victim", a benign race
+					// corrects itself on the next snapshot load.
+					if b2, err2 := lb.Steer(flow); err2 == nil && b2.Name == "victim" && !lb.victimHealthyForTest() {
+						select {
+						case errs <- "stale cache entry for unhealthy victim resurrected":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds/4; i++ {
+			lb.SetHealth("victim", false)
+			lb.SetHealth("victim", true)
+		}
+		lb.SetHealth("victim", false)
+	}()
+	close(start)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	// Victim is now down for good: the cache must not serve it.
+	for i := 0; i < 100; i++ {
+		b, err := lb.Steer(flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name == "victim" {
+			t.Fatalf("steer %d returned unhealthy victim from cache", i)
+		}
+	}
+}
+
+// victimHealthyForTest reads victim's health from the current snapshot.
+func (lb *LB) victimHealthyForTest() bool {
+	_, ok := lb.route.Load().healthy["victim"]
+	return ok
+}

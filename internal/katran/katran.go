@@ -76,6 +76,16 @@ type Config struct {
 	// FlowCacheShards splits the flow cache into this many lock shards
 	// (rounded up to a power of two; 0 = DefaultFlowCacheShards).
 	FlowCacheShards int
+	// FlowTableSize enables the generation-tagged compact flow table when
+	// > 0: bounded-memory (16 B/flow) pinning for every established flow,
+	// sized for millions, whose routing flips on a takeover with a single
+	// epoch bump (AdvanceGeneration) instead of per-entry writes. The
+	// small LRU cache (FlowCacheSize) sits in front of it as the §5.1
+	// momentary-shuffle absorber.
+	FlowTableSize int
+	// FlowTableShards splits the flow table into this many lock shards
+	// (rounded up to a power of two; 0 = DefaultFlowTableShards).
+	FlowTableShards int
 	// MaglevSize overrides the lookup table size (0 = default).
 	MaglevSize int
 	// Probe overrides the prober (default ProbeHC).
@@ -116,7 +126,13 @@ type LB struct {
 	// Hot-path counters, resolved once: Registry.Counter takes the
 	// registry mutex per lookup, which would serialize Steer again.
 	cCacheHit  *metrics.Counter
+	cTableHit  *metrics.Counter
 	cTablePick *metrics.Counter
+
+	// Control-plane gauges for the fleet telemetry scrape: flow-table
+	// occupancy (parts per thousand) and current release epoch.
+	gOccupancy *metrics.Gauge
+	gEpoch     *metrics.Gauge
 
 	// route is the current routing snapshot; Steer loads it lock-free.
 	route atomic.Pointer[routeTable]
@@ -125,6 +141,7 @@ type LB struct {
 	backends map[string]*backendState
 
 	cache *ShardedFlowCache
+	table *FlowTable
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -142,7 +159,10 @@ func New(name string, cfg Config, reg *metrics.Registry) *LB {
 		cfg:        cfg,
 		reg:        reg,
 		cCacheHit:  reg.Counter("katran.steer.cache_hit"),
+		cTableHit:  reg.Counter("katran.steer.flowtable_hit"),
 		cTablePick: reg.Counter("katran.steer.table_pick"),
+		gOccupancy: reg.Gauge("katran.flowtable.occupancy"),
+		gEpoch:     reg.Gauge("katran.flowtable.epoch"),
 		backends:   make(map[string]*backendState),
 		stop:       make(chan struct{}),
 	}
@@ -153,7 +173,32 @@ func New(name string, cfg Config, reg *metrics.Registry) *LB {
 	if cfg.FlowCacheSize > 0 {
 		lb.cache = NewShardedFlowCache(cfg.FlowCacheSize, cfg.FlowCacheShards)
 	}
+	if cfg.FlowTableSize > 0 {
+		lb.table = NewFlowTable(cfg.FlowTableSize, cfg.FlowTableShards)
+		lb.gEpoch.Set(int64(lb.table.Epoch()))
+	}
 	return lb
+}
+
+// FlowTable returns the generation-tagged flow table (nil unless
+// Config.FlowTableSize enabled it).
+func (lb *LB) FlowTable() *FlowTable { return lb.table }
+
+// AdvanceGeneration moves the flow table to the next release generation.
+// With drainOld, every flow pinned under earlier generations is flipped
+// in this one O(1) epoch bump — the million-flow takeover primitive: no
+// per-entry writes happen (pinned by the chaos suite via EntryWrites),
+// and each stale flow lazily re-pins on its next packet. Without
+// drainOld the bump is bookkeeping only and existing pins stay routable.
+// No-op when the flow table is disabled.
+func (lb *LB) AdvanceGeneration(drainOld bool) {
+	if lb.table == nil {
+		return
+	}
+	epoch := lb.table.Bump(drainOld)
+	lb.gEpoch.Set(int64(epoch))
+	lb.gOccupancy.Set(int64(lb.table.Occupancy()))
+	lb.reg.Counter("katran.flowtable.bumps").Inc()
 }
 
 // Metrics returns the LB's registry.
@@ -214,6 +259,13 @@ func (lb *LB) rebuildLocked() {
 		maglev:  consistent.NewMaglev(lb.cfg.MaglevSize, names...),
 		healthy: healthy,
 	})
+	if lb.table != nil {
+		// One O(1) view publication: removed backends tombstone their
+		// slot (their flows re-pick lazily), re-admitted ones revive it
+		// (their flows come home, the §5.1 consistency property).
+		lb.table.SetBackends(names)
+		lb.gOccupancy.Set(int64(lb.table.Occupancy()))
+	}
 	lb.reg.Counter("katran.table.rebuilds").Inc()
 	lb.reg.Gauge("katran.backends.healthy").Set(int64(len(names)))
 }
@@ -226,13 +278,19 @@ func (lb *LB) HealthyBackends() []string {
 // ErrNoBackends is returned by Steer when every backend is out.
 var ErrNoBackends = errors.New("katran: no healthy backends")
 
-// Steer picks the backend for a flow hash: the LRU connection table first
-// (if enabled and the cached backend is still healthy), then Maglev. The
-// result is cached so the flow sticks.
+// Steer picks the backend for a flow hash: the small §5.1 LRU cache
+// first (momentary-shuffle absorber), then the generation-tagged flow
+// table (million-flow pinning memory), then Maglev. Fresh picks are
+// recorded in both so the flow sticks.
 //
 // Steer is lock-free on the routing table (it reads the current snapshot)
-// and touches at most one flow-cache shard, so concurrent steering scales
-// across cores.
+// and touches at most one shard of each flow structure, so concurrent
+// steering scales across cores. Stale pins — the cached backend went
+// unhealthy, or the pin's generation was drained — are re-picked with a
+// validate-and-replace under one shard critical section (Swap/Update):
+// the old Delete-then-Put pair could interleave with a concurrent steer
+// of the same flow and resurrect a just-deleted entry for a backend that
+// went unhealthy in between.
 func (lb *LB) Steer(flow uint64) (Backend, error) {
 	rt := lb.route.Load()
 	if lb.cache != nil {
@@ -241,19 +299,66 @@ func (lb *LB) Steer(flow uint64) (Backend, error) {
 				lb.cCacheHit.Inc()
 				return b, nil
 			}
-			// Cached backend gone: fall through to a fresh pick.
-			lb.cache.Delete(flow)
+			return lb.repick(flow)
 		}
 	}
-	name := rt.maglev.PickUint(flow)
-	if name == "" {
+	if lb.table != nil {
+		if name, ok := lb.table.Lookup(flow); ok {
+			if b, live := rt.healthy[name]; live {
+				lb.cTableHit.Inc()
+				if lb.cache != nil {
+					lb.cache.Put(flow, name)
+				}
+				return b, nil
+			}
+			return lb.repick(flow)
+		}
+	}
+	return lb.repick(flow)
+}
+
+// repick resolves flow against the freshest routing snapshot and records
+// the result in the flow table and cache, each under a single shard
+// critical section that revalidates before replacing: if a concurrent
+// steer already re-pinned the flow to a live backend, that pick wins and
+// no write happens.
+func (lb *LB) repick(flow uint64) (Backend, error) {
+	var picked Backend
+	var found bool
+	decide := func(cur string, ok bool) (string, bool) {
+		// Loaded inside the critical section so the decision is made
+		// against the freshest published snapshot.
+		rt := lb.route.Load()
+		if ok {
+			if b, live := rt.healthy[cur]; live {
+				picked, found = b, true
+				return cur, true
+			}
+		}
+		name := rt.maglev.PickUint(flow)
+		if name == "" {
+			found = false
+			return "", false
+		}
+		picked, found = rt.healthy[name], true
+		return name, true
+	}
+	switch {
+	case lb.table != nil:
+		lb.table.Update(flow, decide)
+		if found && lb.cache != nil {
+			lb.cache.Swap(flow, decide)
+		}
+	case lb.cache != nil:
+		lb.cache.Swap(flow, decide)
+	default:
+		decide("", false)
+	}
+	if !found {
 		return Backend{}, ErrNoBackends
 	}
 	lb.cTablePick.Inc()
-	if lb.cache != nil {
-		lb.cache.Put(flow, name)
-	}
-	return rt.healthy[name], nil
+	return picked, nil
 }
 
 // SteerAddr is Steer returning just the address.

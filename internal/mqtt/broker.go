@@ -6,10 +6,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"zdr/internal/faults"
 	"zdr/internal/metrics"
+	"zdr/internal/netx"
 )
 
 // Broker is an MQTT pub/sub back-end (§2.1 "special-purpose servers, e.g.
@@ -38,6 +40,13 @@ type Broker struct {
 
 	faults atomic.Pointer[faults.Injector]
 
+	// parked tracks event-loop watches for idle connections served by
+	// ServeLoop, so Close can retire them (closing a parked conn drops
+	// its kernel-side epoll interest silently; the watch bookkeeping must
+	// be cancelled explicitly).
+	parkedMu sync.Mutex
+	parked   map[*netx.Watch]struct{}
+
 	wg sync.WaitGroup
 }
 
@@ -64,7 +73,12 @@ func NewBroker(name string, reg *metrics.Registry) *Broker {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Broker{name: name, reg: reg, sessions: make(map[string]*session)}
+	return &Broker{
+		name:     name,
+		reg:      reg,
+		sessions: make(map[string]*session),
+		parked:   make(map[*netx.Watch]struct{}),
+	}
 }
 
 // Metrics returns the broker's registry.
@@ -97,22 +111,48 @@ func (b *Broker) Serve(ln net.Listener) error {
 // context is retained for a future resume.
 func (b *Broker) ServeConn(conn net.Conn) error {
 	defer conn.Close()
+	sess, gen, keepAlive, err := b.handshake(conn)
+	if err != nil || sess == nil {
+		return err
+	}
+	for {
+		if keepAlive > 0 {
+			conn.SetReadDeadline(time.Now().Add(keepAlive + keepAlive/2))
+		}
+		pkt, err := Decode(conn)
+		if err != nil {
+			b.detach(sess, conn, gen)
+			return err
+		}
+		keep, err := b.handlePacket(sess, conn, gen, pkt)
+		if err != nil || !keep {
+			b.detach(sess, conn, gen)
+			return err
+		}
+	}
+}
+
+// handshake runs the CONNECT/CONNACK exchange and splices the transport
+// into its session. A nil session with nil error means the connection was
+// answered and is done (a refused resume). Shared by the goroutine-per-
+// conn path (ServeConn) and the event-loop path (ServeLoop).
+func (b *Broker) handshake(conn net.Conn) (sess *session, gen uint64, keepAlive time.Duration, err error) {
 	p, err := Decode(conn)
 	if err != nil {
-		return fmt.Errorf("mqtt: reading CONNECT: %w", err)
+		return nil, 0, 0, fmt.Errorf("mqtt: reading CONNECT: %w", err)
 	}
 	if p.Type != CONNECT {
-		return fmt.Errorf("mqtt: first packet was %v, want CONNECT", p.Type)
+		return nil, 0, 0, fmt.Errorf("mqtt: first packet was %v, want CONNECT", p.Type)
 	}
 	if p.ClientID == "" {
 		Encode(conn, &Packet{Type: CONNACK, ReturnCode: ConnRefusedIDRejected})
-		return errors.New("mqtt: empty client id")
+		return nil, 0, 0, errors.New("mqtt: empty client id")
 	}
 
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return ErrBrokerClosed
+		return nil, 0, 0, ErrBrokerClosed
 	}
 	sess, exists := b.sessions[p.ClientID]
 	if p.CleanSession {
@@ -124,7 +164,7 @@ func (b *Broker) ServeConn(conn net.Conn) error {
 		// Resume with no context: refuse (DCR connect_refuse).
 		b.mu.Unlock()
 		b.reg.Counter("mqtt.connect.refused").Inc()
-		return Encode(conn, &Packet{Type: CONNACK, ReturnCode: ConnRefusedIDRejected})
+		return nil, 0, 0, Encode(conn, &Packet{Type: CONNACK, ReturnCode: ConnRefusedIDRejected})
 	}
 	b.mu.Unlock()
 
@@ -135,7 +175,7 @@ func (b *Broker) ServeConn(conn net.Conn) error {
 	}
 	sess.conn = conn
 	sess.gen++
-	gen := sess.gen
+	gen = sess.gen
 	sess.mu.Unlock()
 
 	b.reg.Counter("mqtt.connack.sent").Inc()
@@ -145,57 +185,157 @@ func (b *Broker) ServeConn(conn net.Conn) error {
 		b.reg.Counter("mqtt.connect.new").Inc()
 	}
 	if err := Encode(conn, &Packet{Type: CONNACK, SessionPresent: exists, ReturnCode: ConnAccepted}); err != nil {
-		return err
+		b.detach(sess, conn, gen)
+		return nil, 0, 0, err
 	}
+	return sess, gen, time.Duration(p.KeepAlive) * time.Second, nil
+}
 
-	keepAlive := time.Duration(p.KeepAlive) * time.Second
-	for {
-		if keepAlive > 0 {
-			conn.SetReadDeadline(time.Now().Add(keepAlive + keepAlive/2))
+// handlePacket processes one post-handshake packet. keep=false means the
+// transport is done (graceful DISCONNECT); the caller detaches.
+func (b *Broker) handlePacket(sess *session, conn net.Conn, gen uint64, pkt *Packet) (keep bool, err error) {
+	switch pkt.Type {
+	case PUBLISH:
+		b.reg.Counter("mqtt.publish.received").Inc()
+		b.Publish(pkt.Topic, pkt.Payload)
+		if pkt.QoS == 1 {
+			if err := b.send(sess, &Packet{Type: PUBACK, PacketID: pkt.PacketID}); err != nil {
+				return false, err
+			}
 		}
-		pkt, err := Decode(conn)
+		return true, nil
+	case SUBSCRIBE:
+		sess.mu.Lock()
+		for _, f := range pkt.TopicFilters {
+			if !contains(sess.subs, f) {
+				sess.subs = append(sess.subs, f)
+			}
+		}
+		sess.mu.Unlock()
+		granted := make([]uint8, len(pkt.TopicFilters))
+		if err := b.send(sess, &Packet{Type: SUBACK, PacketID: pkt.PacketID, GrantedQoS: granted}); err != nil {
+			return false, err
+		}
+		return true, nil
+	case PINGREQ:
+		if err := b.send(sess, &Packet{Type: PINGRESP}); err != nil {
+			return false, err
+		}
+		return true, nil
+	case DISCONNECT:
+		// Graceful disconnect retains context (the transport may be a
+		// relay that is being restarted; the user is still out there).
+		return false, nil
+	default:
+		return false, fmt.Errorf("mqtt: unexpected packet %v", pkt.Type)
+	}
+}
+
+// ServeLoop is Serve for idle-heavy fleets: connections are parked in an
+// epoll EventLoop between packets instead of holding a goroutine each, so
+// a million mostly-idle MQTT sessions cost watch records, not stacks
+// (DESIGN.md §11). The handshake still runs on a short-lived goroutine
+// (CONNECT may arrive fragmented); after CONNACK the transport is parked
+// and only borrows a loop worker while a packet is actually readable.
+// Peer hang-ups are reaped via EPOLLRDHUP.
+//
+// Loop-mode limitations, by design: keep-alive expiry is not enforced
+// while parked (a dead peer is reaped by RDHUP, not by deadline), and
+// fault-wrapped connections (SetFaults) fall back to goroutine-per-conn
+// since the wrapper hides the raw socket.
+//
+// Accepting stays a blocking goroutine: one goroutine per *listener* is
+// the cheap part (and closing a listener drops its epoll registration
+// silently, which would leave a loop-driven accept unable to observe the
+// shutdown) — the per-*connection* goroutines are what the loop
+// eliminates. ServeLoop returns when ln is closed.
+func (b *Broker) ServeLoop(ln net.Listener, loop *netx.EventLoop) error {
+	for {
+		conn, err := ln.Accept()
 		if err != nil {
-			b.detach(sess, conn, gen)
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
 			return err
 		}
-		switch pkt.Type {
-		case PUBLISH:
-			b.reg.Counter("mqtt.publish.received").Inc()
-			b.Publish(pkt.Topic, pkt.Payload)
-			if pkt.QoS == 1 {
-				if err := b.send(sess, &Packet{Type: PUBACK, PacketID: pkt.PacketID}); err != nil {
-					b.detach(sess, conn, gen)
-					return err
-				}
-			}
-		case SUBSCRIBE:
-			sess.mu.Lock()
-			for _, f := range pkt.TopicFilters {
-				if !contains(sess.subs, f) {
-					sess.subs = append(sess.subs, f)
-				}
-			}
-			sess.mu.Unlock()
-			granted := make([]uint8, len(pkt.TopicFilters))
-			if err := b.send(sess, &Packet{Type: SUBACK, PacketID: pkt.PacketID, GrantedQoS: granted}); err != nil {
-				b.detach(sess, conn, gen)
-				return err
-			}
-		case PINGREQ:
-			if err := b.send(sess, &Packet{Type: PINGRESP}); err != nil {
-				b.detach(sess, conn, gen)
-				return err
-			}
-		case DISCONNECT:
-			// Graceful disconnect retains context (the transport may be a
-			// relay that is being restarted; the user is still out there).
-			b.detach(sess, conn, gen)
-			return nil
-		default:
-			b.detach(sess, conn, gen)
-			return fmt.Errorf("mqtt: unexpected packet %v", pkt.Type)
-		}
+		conn = b.faults.Load().Conn(conn)
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.serveLoopConn(loop, conn)
+		}()
 	}
+}
+
+// serveLoopConn runs the handshake, then parks the connection in loop.
+func (b *Broker) serveLoopConn(loop *netx.EventLoop, conn net.Conn) {
+	rawConn, ok := conn.(syscall.Conn)
+	if !ok {
+		// Fault-wrapped (or otherwise opaque) transport: serve it the
+		// classic way.
+		b.ServeConn(conn)
+		return
+	}
+	sess, gen, _, err := b.handshake(conn)
+	if err != nil || sess == nil {
+		conn.Close()
+		return
+	}
+	gParked := b.reg.Gauge("mqtt.loop.parked")
+	reap := func(w *netx.Watch) {
+		b.detach(sess, conn, gen)
+		conn.Close()
+		if b.unpark(w) {
+			gParked.Dec()
+		}
+		w.Cancel()
+	}
+	w, err := loop.Watch(rawConn, func(w *netx.Watch, r netx.Readiness) {
+		if r.HangUp {
+			reap(w)
+			return
+		}
+		// Readable: the packet is (mostly) buffered already; a deadline
+		// bounds a peer that stalls mid-packet so a loop worker is never
+		// held hostage.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		pkt, err := Decode(conn)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			reap(w)
+			return
+		}
+		keep, err := b.handlePacket(sess, conn, gen, pkt)
+		if err != nil || !keep {
+			reap(w)
+			return
+		}
+		if err := w.Rearm(); err != nil {
+			reap(w)
+		}
+	})
+	if err != nil {
+		b.detach(sess, conn, gen)
+		conn.Close()
+		return
+	}
+	b.parkedMu.Lock()
+	b.parked[w] = struct{}{}
+	b.parkedMu.Unlock()
+	gParked.Inc()
+	// The handler may have reaped before the stash above; settle the
+	// bookkeeping it could not see.
+	if w.Stopped() && b.unpark(w) {
+		gParked.Dec()
+	}
+}
+
+func (b *Broker) unpark(w *netx.Watch) bool {
+	b.parkedMu.Lock()
+	_, ok := b.parked[w]
+	delete(b.parked, w)
+	b.parkedMu.Unlock()
+	return ok
 }
 
 // detach clears the session transport if it is still the one this handler
@@ -311,6 +451,15 @@ func (b *Broker) Close() {
 			s.conn = nil
 		}
 		s.mu.Unlock()
+	}
+	// Closing a parked conn silently drops its kernel-side epoll interest;
+	// retire the watch bookkeeping too.
+	b.parkedMu.Lock()
+	parked := b.parked
+	b.parked = make(map[*netx.Watch]struct{})
+	b.parkedMu.Unlock()
+	for w := range parked {
+		w.Cancel()
 	}
 	b.wg.Wait()
 }

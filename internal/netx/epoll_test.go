@@ -1,0 +1,484 @@
+package netx
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, derr := net.Dial("tcp", ln.Addr().String())
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestEventLoopReadable(t *testing.T) {
+	l, err := NewEventLoop(EventLoopConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, server := tcpPair(t)
+
+	fired := make(chan Readiness, 1)
+	w, err := l.Watch(server.(*net.TCPConn), func(w *Watch, r Readiness) {
+		fired <- r
+		// no Rearm: oneshot consumed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cancel()
+
+	if l.Watched() != 1 {
+		t.Fatalf("Watched = %d want 1", l.Watched())
+	}
+	// Idle: nothing may fire.
+	select {
+	case r := <-fired:
+		t.Fatalf("idle watch fired: %+v", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-fired:
+		if !r.Readable {
+			t.Fatalf("want Readable, got %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watch did not fire on write")
+	}
+}
+
+func TestEventLoopOneshotAndRearm(t *testing.T) {
+	l, err := NewEventLoop(EventLoopConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, server := tcpPair(t)
+	sc := server.(*net.TCPConn)
+
+	var fires atomic.Int32
+	rearmed := make(chan struct{}, 16)
+	var w *Watch
+	w, err = l.Watch(sc, func(w *Watch, r Readiness) {
+		fires.Add(1)
+		buf := make([]byte, 16)
+		sc.SetReadDeadline(time.Now().Add(time.Second))
+		sc.Read(buf) // drain so the next arm waits for fresh data
+		if err := w.Rearm(); err == nil {
+			rearmed <- struct{}{}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cancel()
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-rearmed:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("fire %d: handler did not run", i)
+		}
+	}
+	if got := fires.Load(); got != 3 {
+		t.Fatalf("fires = %d want 3", got)
+	}
+}
+
+func TestEventLoopHangup(t *testing.T) {
+	l, err := NewEventLoop(EventLoopConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, server := tcpPair(t)
+
+	fired := make(chan Readiness, 1)
+	w, err := l.Watch(server.(*net.TCPConn), func(w *Watch, r Readiness) { fired <- r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cancel()
+
+	client.Close()
+	select {
+	case r := <-fired:
+		if !r.HangUp {
+			t.Fatalf("want HangUp, got %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watch did not fire on peer close")
+	}
+}
+
+func TestEventLoopListenerAccept(t *testing.T) {
+	l, err := NewEventLoop(EventLoopConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	tln := ln.(*net.TCPListener)
+
+	accepted := make(chan net.Conn, 4)
+	var w *Watch
+	w, err = l.Watch(tln, func(w *Watch, r Readiness) {
+		// Burst-accept everything pending, then re-arm.
+		for {
+			tln.SetDeadline(time.Now().Add(time.Millisecond))
+			c, err := tln.Accept()
+			if err != nil {
+				break
+			}
+			accepted <- c
+		}
+		tln.SetDeadline(time.Time{})
+		w.Rearm()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cancel()
+
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		select {
+		case sc := <-accepted:
+			defer sc.Close()
+		case <-time.After(2 * time.Second):
+			t.Fatalf("dial %d not accepted via loop", i)
+		}
+	}
+}
+
+// TestEventLoopCancelFencesStaleEvents: a cancelled watch must never run
+// its handler, even when an event was already queued in the kernel —
+// the token-indirection (ABA) property.
+func TestEventLoopCancelFencesStaleEvents(t *testing.T) {
+	l, err := NewEventLoop(EventLoopConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, server := tcpPair(t)
+
+	var fired atomic.Int32
+	w, err := l.Watch(server.(*net.TCPConn), func(w *Watch, r Readiness) { fired.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make it ready and immediately cancel: the event may already be in
+	// flight, but the handler must not run.
+	client.Write([]byte("x"))
+	w.Cancel()
+	time.Sleep(100 * time.Millisecond)
+	if got := fired.Load(); got != 0 {
+		t.Fatalf("cancelled watch fired %d times", got)
+	}
+	if l.Watched() != 0 {
+		t.Fatalf("Watched = %d want 0", l.Watched())
+	}
+}
+
+// TestEventLoopManyIdleConns parks several hundred idle connections on
+// one loop — the cost model the idle tiers rely on — then wakes a few
+// and checks only those fire.
+func TestEventLoopManyIdleConns(t *testing.T) {
+	l, err := NewEventLoop(EventLoopConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const conns = 400
+	type pair struct{ c, s net.Conn }
+	pairs := make([]pair, 0, conns)
+	serverSide := make(chan net.Conn, conns)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			serverSide <- c
+		}
+	}()
+	for i := 0; i < conns; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := <-serverSide
+		pairs = append(pairs, pair{c, s})
+	}
+	defer func() {
+		for _, p := range pairs {
+			p.c.Close()
+			p.s.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	firedIdx := map[int]bool{}
+	firedCh := make(chan struct{}, conns)
+	for i, p := range pairs {
+		i, sc := i, p.s.(*net.TCPConn)
+		w, err := l.Watch(sc, func(w *Watch, r Readiness) {
+			mu.Lock()
+			firedIdx[i] = true
+			mu.Unlock()
+			firedCh <- struct{}{}
+		})
+		if err != nil {
+			t.Fatalf("watch %d: %v", i, err)
+		}
+		defer w.Cancel()
+	}
+	if l.Watched() != conns {
+		t.Fatalf("Watched = %d want %d", l.Watched(), conns)
+	}
+
+	woken := []int{3, conns / 2, conns - 1}
+	for _, i := range woken {
+		if _, err := pairs[i].c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range woken {
+		select {
+		case <-firedCh:
+		case <-time.After(2 * time.Second):
+			t.Fatal("woken connection did not fire")
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range firedIdx {
+		ok := false
+		for _, want := range woken {
+			if i == want {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("idle connection %d fired", i)
+		}
+	}
+	if len(firedIdx) != len(woken) {
+		t.Fatalf("fired %d watches, want %d", len(firedIdx), len(woken))
+	}
+}
+
+// TestEventLoopAcrossFDHandoff models the takeover contract: epoll
+// interest is per-process state, so after a connection's fd is passed
+// (here: dup'd, as SCM_RIGHTS delivery does) the receiving side
+// re-registers it in its own loop and sees subsequent readability.
+func TestEventLoopAcrossFDHandoff(t *testing.T) {
+	oldLoop, err := NewEventLoop(EventLoopConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldLoop.Close()
+	newLoop, err := NewEventLoop(EventLoopConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newLoop.Close()
+
+	client, server := tcpPair(t)
+	sc := server.(*net.TCPConn)
+	w, err := oldLoop.Watch(sc, func(w *Watch, r Readiness) {
+		t.Error("old instance's watch fired after hand-off")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-off: old instance cancels its watch, the fd crosses (dup),
+	// and the new instance owns the socket from its own loop.
+	w.Cancel()
+	fd, err := dupSocketFD(sc, "conn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted, err := connFromFD(fd, "adopted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adopted.Close()
+	sc.Close() // old instance is gone
+
+	fired := make(chan Readiness, 1)
+	w2, err := newLoop.Watch(adopted.(*net.TCPConn), func(w *Watch, r Readiness) { fired <- r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Cancel()
+
+	if _, err := client.Write([]byte("post-handoff")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-fired:
+		if !r.Readable {
+			t.Fatalf("want Readable, got %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("adopted connection did not fire in new loop")
+	}
+	buf := make([]byte, 32)
+	n, err := adopted.Read(buf)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "post-handoff" {
+		t.Fatalf("read %q", buf[:n])
+	}
+}
+
+func TestEventLoopCloseIdempotentAndRejects(t *testing.T) {
+	l, err := NewEventLoop(EventLoopConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, server := tcpPair(t)
+	w, err := l.Watch(server.(*net.TCPConn), func(*Watch, Readiness) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Watch(server.(*net.TCPConn), func(*Watch, Readiness) {}); err != ErrLoopClosed {
+		t.Fatalf("Watch after Close: %v, want ErrLoopClosed", err)
+	}
+	if err := w.Rearm(); err != ErrLoopClosed {
+		t.Fatalf("Rearm after Close: %v, want ErrLoopClosed", err)
+	}
+	w.Cancel() // must not panic after Close
+}
+
+// TestEventLoopConcurrentChurn registers/cancels watches from many
+// goroutines while traffic flows; under -race this pins the loop's
+// locking.
+func TestEventLoopConcurrentChurn(t *testing.T) {
+	l, err := NewEventLoop(EventLoopConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				client, server := tcpPairRaw(t)
+				var w *Watch
+				w, err := l.Watch(server.(*net.TCPConn), func(w *Watch, r Readiness) {
+					buf := make([]byte, 8)
+					server.SetReadDeadline(time.Now().Add(time.Second))
+					server.Read(buf)
+					w.Rearm()
+				})
+				if err != nil {
+					t.Error(err)
+					client.Close()
+					server.Close()
+					return
+				}
+				client.Write([]byte("x"))
+				time.Sleep(time.Millisecond)
+				w.Cancel()
+				client.Close()
+				server.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Watched() != 0 {
+		t.Fatalf("Watched = %d want 0 after churn", l.Watched())
+	}
+}
+
+// tcpPairRaw is tcpPair without t.Cleanup (callers close), safe for use
+// inside goroutines.
+func tcpPairRaw(t *testing.T) (client, server net.Conn) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Error(err)
+		return nil, nil
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, derr := net.Dial("tcp", ln.Addr().String())
+	if derr != nil {
+		t.Error(derr)
+		return nil, nil
+	}
+	<-done
+	if err != nil {
+		t.Error(err)
+		return nil, nil
+	}
+	return client, server
+}
+
+func ExampleEventLoop() {
+	l, _ := NewEventLoop(EventLoopConfig{Workers: 2})
+	defer l.Close()
+	fmt.Println(l.Watched())
+	// Output: 0
+}

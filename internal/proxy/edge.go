@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"zdr/internal/bufpool"
@@ -15,6 +16,7 @@ import (
 	"zdr/internal/h2t"
 	"zdr/internal/http1"
 	"zdr/internal/mqtt"
+	"zdr/internal/netx"
 	"zdr/internal/obs"
 )
 
@@ -95,8 +97,16 @@ func (p *Proxy) originSessionFor(exclude string) (*tunnelEntry, error) {
 
 // handleEdgeHTTPConn terminates a user HTTP connection (§2.2 step 1-2):
 // cacheable content is answered directly (Direct Server Return), the rest
-// is forwarded over the tunnel to an Origin.
+// is forwarded over the tunnel to an Origin. With Config.ConnLoop the
+// connection parks in the epoll loop between requests instead of blocking
+// a goroutine in ReadRequest — the idle keep-alive tier's cost model.
 func (p *Proxy) handleEdgeHTTPConn(conn net.Conn) {
+	if loop := p.cfg.ConnLoop; loop != nil {
+		if rawConn, ok := conn.(syscall.Conn); ok {
+			p.serveEdgeHTTPLoop(loop, conn, rawConn)
+			return
+		}
+	}
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	for {
@@ -109,6 +119,48 @@ func (p *Proxy) handleEdgeHTTPConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveEdgeHTTPLoop parks conn in the event loop and serves one request
+// batch per readiness wake. The handler returns (freeing the loop worker)
+// whenever the connection goes idle with nothing buffered; a parked idle
+// connection costs its watch record and this bufio.Reader, no goroutine.
+func (p *Proxy) serveEdgeHTTPLoop(loop *netx.EventLoop, conn net.Conn, rawConn syscall.Conn) {
+	br := bufio.NewReader(conn)
+	w, err := loop.Watch(rawConn, func(w *netx.Watch, r netx.Readiness) {
+		if r.HangUp {
+			p.reapParked(w, conn)
+			return
+		}
+		// Readable: serve the request that woke us plus anything
+		// pipelined behind it. The deadline bounds a peer that stalls
+		// mid-request so a loop worker is never held hostage.
+		for {
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			req, err := http1.ReadRequest(br)
+			conn.SetReadDeadline(time.Time{})
+			if err != nil {
+				p.reapParked(w, conn)
+				return
+			}
+			p.reg.Counter("edge.http.requests").Inc()
+			if !p.serveEdgeRequest(conn, req) {
+				p.reapParked(w, conn)
+				return
+			}
+			if br.Buffered() == 0 {
+				break
+			}
+		}
+		if w.Rearm() != nil {
+			p.reapParked(w, conn)
+		}
+	})
+	if err != nil {
+		conn.Close()
+		return
+	}
+	p.park(w, conn)
 }
 
 func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
@@ -244,6 +296,9 @@ type mqttRelay struct {
 	stream *h2t.Stream
 	gen    int
 	closed bool
+	// watch is the client conn's event-loop registration when the relay
+	// runs in loop mode (Config.ConnLoop); nil in goroutine mode.
+	watch *netx.Watch
 }
 
 func (r *mqttRelay) close() {
@@ -254,8 +309,17 @@ func (r *mqttRelay) close() {
 	}
 	r.closed = true
 	st := r.stream
+	w := r.watch
 	r.mu.Unlock()
 	r.clientConn.Close()
+	if w != nil {
+		// Closing the conn silently dropped the kernel-side epoll
+		// interest; retire the watch bookkeeping too.
+		if r.p.unpark(w) {
+			r.p.reg.Gauge("proxy.loop.parked").Dec()
+		}
+		w.Cancel()
+	}
 	if st != nil {
 		st.Reset()
 	}
@@ -263,6 +327,28 @@ func (r *mqttRelay) close() {
 	delete(r.p.mqttConns, r)
 	r.p.mu.Unlock()
 	r.p.reg.Gauge("edge.mqtt.conns").Dec()
+}
+
+// forwardUpstream writes client bytes to the relay's current stream,
+// retrying once on the (possibly spliced) stream when a DCR swap races
+// the write. Returns false when the relay is finished.
+func (r *mqttRelay) forwardUpstream(b []byte) bool {
+	st, _ := r.currentStream()
+	if st == nil {
+		return false
+	}
+	if _, werr := st.Write(b); werr != nil {
+		// Stream died mid-write; a splice may be in progress.
+		time.Sleep(50 * time.Millisecond)
+		st2, _ := r.currentStream()
+		if st2 == nil || st2 == st {
+			return false
+		}
+		if _, werr := st2.Write(b); werr != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // currentStream returns the active stream and its generation.
@@ -344,39 +430,62 @@ func (p *Proxy) handleEdgeMQTTConn(conn net.Conn) {
 	p.reg.Counter("edge.mqtt.accepted").Inc()
 	p.reg.Gauge("edge.mqtt.conns").Inc()
 
-	// Upstream pump: client -> current stream.
-	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		bp := bufpool.Get(32 << 10)
-		defer bufpool.Put(bp)
-		buf := *bp
-		for {
+	// Upstream pump: client -> current stream. In loop mode the client
+	// side parks in the epoll loop — a mostly-idle user costs a watch
+	// record, not a goroutine blocked in Read (the downstream side keeps
+	// its goroutine: it multiplexes stream data with DCR control frames).
+	rawConn, canPark := conn.(syscall.Conn)
+	if loop := p.cfg.ConnLoop; loop != nil && canPark {
+		w, err := loop.Watch(rawConn, func(w *netx.Watch, r netx.Readiness) {
+			if r.HangUp {
+				relay.close()
+				return
+			}
+			bp := bufpool.Get(32 << 10)
+			defer bufpool.Put(bp)
+			buf := *bp
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 			n, err := conn.Read(buf)
-			if n > 0 {
-				st, _ := relay.currentStream()
-				if st == nil {
-					break
-				}
-				if _, werr := st.Write(buf[:n]); werr != nil {
-					// Stream died mid-write; a splice may be in
-					// progress. Retry once on the (possibly new) stream.
-					time.Sleep(50 * time.Millisecond)
-					st2, _ := relay.currentStream()
-					if st2 == nil || st2 == st {
-						break
-					}
-					if _, werr := st2.Write(buf[:n]); werr != nil {
-						break
-					}
-				}
+			conn.SetReadDeadline(time.Time{})
+			if n > 0 && !relay.forwardUpstream(buf[:n]) {
+				relay.close()
+				return
 			}
 			if err != nil {
-				break
+				relay.close()
+				return
 			}
+			if w.Rearm() != nil {
+				relay.close()
+			}
+		})
+		if err != nil {
+			relay.close()
+			return
 		}
-		relay.close()
-	}()
+		relay.mu.Lock()
+		relay.watch = w
+		relay.mu.Unlock()
+		p.park(w, conn)
+	} else {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			bp := bufpool.Get(32 << 10)
+			defer bufpool.Put(bp)
+			buf := *bp
+			for {
+				n, err := conn.Read(buf)
+				if n > 0 && !relay.forwardUpstream(buf[:n]) {
+					break
+				}
+				if err != nil {
+					break
+				}
+			}
+			relay.close()
+		}()
+	}
 
 	// Downstream pump + control watcher, restarted per stream generation.
 	p.wg.Add(1)

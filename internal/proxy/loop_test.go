@@ -1,0 +1,314 @@
+package proxy
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"zdr/internal/http1"
+	"zdr/internal/mqtt"
+	"zdr/internal/netx"
+)
+
+// startLoopTopology is startTopology with the Edge serving its user VIPs
+// from an epoll event loop (Config.ConnLoop).
+func startLoopTopology(t *testing.T, nApps, nOrigins int) (*topology, *netx.EventLoop) {
+	t.Helper()
+	tp := startTopology(t, nApps, nOrigins)
+	loop, err := netx.NewEventLoop(netx.EventLoopConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { loop.Close() })
+
+	loopEdge := New(Config{
+		Name:          "edge-loop",
+		Role:          RoleEdge,
+		Origins:       tp.edge.cfg.Origins,
+		DrainPeriod:   200 * time.Millisecond,
+		StaticContent: tp.edge.cfg.StaticContent,
+		ConnLoop:      loop,
+	}, nil)
+	if err := loopEdge.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(loopEdge.Close)
+	tp.edge.Close() // replace the goroutine-mode edge entirely
+	tp.edge = loopEdge
+	return tp, loop
+}
+
+// TestEdgeLoopHTTPKeepAlive: a keep-alive connection served from the loop
+// answers repeated requests, parking between them.
+func TestEdgeLoopHTTPKeepAlive(t *testing.T) {
+	tp, loop := startLoopTopology(t, 1, 1)
+	conn, err := net.DialTimeout("tcp", tp.edge.Addr(VIPWeb), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for i := 0; i < 3; i++ {
+		if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", "/static/logo", nil, 0)); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		resp, err := http1.ReadResponse(br)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		if _, err := http1.ReadFullBody(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		// Idle gap: the conn must be parked, not held by a goroutine.
+		time.Sleep(20 * time.Millisecond)
+	}
+	if loop.Watched() == 0 {
+		t.Fatal("keep-alive connection not parked in the loop")
+	}
+	if got := tp.edge.Metrics().GaugeValue("proxy.loop.parked"); got == 0 {
+		t.Fatal("parked gauge is 0")
+	}
+	if got := tp.edge.Metrics().CounterValue("edge.http.requests"); got != 3 {
+		t.Fatalf("edge.http.requests = %d want 3", got)
+	}
+}
+
+// TestEdgeLoopIdleConnsParkNotGoroutines parks a batch of idle keep-alive
+// connections and checks the loop carries them all, then wakes every one
+// and checks they still serve.
+func TestEdgeLoopIdleConnsPark(t *testing.T) {
+	tp, loop := startLoopTopology(t, 1, 1)
+	const conns = 64
+	clients := make([]net.Conn, 0, conns)
+	for i := 0; i < conns; i++ {
+		c, err := net.DialTimeout("tcp", tp.edge.Addr(VIPWeb), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for loop.Watched() < conns {
+		if time.Now().After(deadline) {
+			t.Fatalf("Watched = %d, want %d", loop.Watched(), conns)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Wake them all.
+	for i, c := range clients {
+		if _, err := http1.WriteRequest(c, http1.NewRequest("GET", "/static/logo", nil, 0)); err != nil {
+			t.Fatalf("conn %d write: %v", i, err)
+		}
+	}
+	for i, c := range clients {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		resp, err := http1.ReadResponse(bufio.NewReader(c))
+		if err != nil {
+			t.Fatalf("conn %d read: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("conn %d status %d", i, resp.StatusCode)
+		}
+		http1.ReadFullBody(resp.Body)
+	}
+}
+
+// TestEdgeLoopMQTTRelay: the relay's client side parks in the loop while
+// the full MQTT round-trip (via Origin tunnel and broker) still works.
+func TestEdgeLoopMQTTRelay(t *testing.T) {
+	tp, loop := startLoopTopology(t, 1, 1)
+	conn, err := net.DialTimeout("tcp", tp.edge.Addr(VIPMQTT), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mqtt.NewClient(conn, "loop-user", true)
+	if _, err := c.Connect(30*time.Second, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	if err := c.Subscribe(2*time.Second, "feed/#"); err != nil {
+		t.Fatal(err)
+	}
+	if n := tp.broker.Publish("feed/x", []byte("ping")); n != 1 {
+		t.Fatalf("delivered %d want 1", n)
+	}
+	select {
+	case m := <-c.Messages():
+		if string(m.Payload) != "ping" {
+			t.Fatalf("payload %q", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("notification not relayed")
+	}
+	if loop.Watched() == 0 {
+		t.Fatal("relay client side not parked in loop")
+	}
+	if tp.edge.MQTTConnCount() != 1 {
+		t.Fatalf("MQTTConnCount = %d", tp.edge.MQTTConnCount())
+	}
+}
+
+// TestEdgeLoopSocketTakeover is the tentpole integration: an Edge serving
+// parked idle connections from its loop hands its listeners to a new
+// instance with its OWN event loop. Pre-takeover connections stay with
+// the draining instance (and keep being served from its loop until
+// terminate); post-takeover connections are accepted by the new instance
+// and parked in the new loop — epoll interest never crosses the hand-off.
+func TestEdgeLoopSocketTakeover(t *testing.T) {
+	tp, oldLoop := startLoopTopology(t, 1, 1)
+	path := filepath.Join(t.TempDir(), "loop-takeover.sock")
+	if err := tp.edge.ServeTakeover(path); err != nil {
+		t.Fatal(err)
+	}
+	addr := tp.edge.Addr(VIPWeb)
+
+	// Park idle keep-alive conns on the OLD instance.
+	const oldConns = 16
+	oldClients := make([]net.Conn, 0, oldConns)
+	for i := 0; i < oldConns; i++ {
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		oldClients = append(oldClients, c)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for oldLoop.Watched() < oldConns {
+		if time.Now().After(deadline) {
+			t.Fatalf("old loop Watched = %d, want %d", oldLoop.Watched(), oldConns)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The release: new instance, new loop.
+	newLoop, err := netx.NewEventLoop(netx.EventLoopConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newLoop.Close()
+	newEdge := New(Config{
+		Name:          "edge-loop-new",
+		Role:          RoleEdge,
+		Origins:       tp.edge.cfg.Origins,
+		DrainPeriod:   200 * time.Millisecond,
+		StaticContent: tp.edge.cfg.StaticContent,
+		ConnLoop:      newLoop,
+	}, nil)
+	if _, err := newEdge.TakeoverFrom(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(newEdge.Close)
+
+	// Old parked connections still served by the draining instance's loop.
+	for i, c := range oldClients {
+		if _, err := http1.WriteRequest(c, http1.NewRequest("GET", "/static/logo", nil, 0)); err != nil {
+			t.Fatalf("old conn %d write: %v", i, err)
+		}
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		resp, err := http1.ReadResponse(bufio.NewReader(c))
+		if err != nil {
+			t.Fatalf("old conn %d: %v (draining instance must keep serving parked conns)", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("old conn %d status %d", i, resp.StatusCode)
+		}
+		http1.ReadFullBody(resp.Body)
+	}
+
+	// New connections land in the NEW instance's loop.
+	newClients := make([]net.Conn, 0, 8)
+	for i := 0; i < 8; i++ {
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		newClients = append(newClients, c)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for newLoop.Watched() < len(newClients) {
+		if time.Now().After(deadline) {
+			t.Fatalf("new loop Watched = %d, want %d", newLoop.Watched(), len(newClients))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, c := range newClients {
+		if _, err := http1.WriteRequest(c, http1.NewRequest("GET", "/static/logo", nil, 0)); err != nil {
+			t.Fatal(err)
+		}
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		resp, err := http1.ReadResponse(bufio.NewReader(c))
+		if err != nil {
+			t.Fatalf("new conn %d: %v", i, err)
+		}
+		if got := resp.Header.Get("Via"); got != "edge-loop-new" {
+			t.Fatalf("new conn %d served by %q, want edge-loop-new", i, got)
+		}
+		http1.ReadFullBody(resp.Body)
+	}
+
+	// Terminate the old instance: its parked conns are reaped.
+	tp.edge.Shutdown()
+	deadline = time.Now().Add(2 * time.Second)
+	for oldLoop.Watched() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("old loop still has %d watches after terminate", oldLoop.Watched())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := tp.edge.Metrics().GaugeValue("proxy.loop.parked"); got != 0 {
+		t.Fatalf("old instance parked gauge = %d after terminate", got)
+	}
+	// And the new instance still serves.
+	resp := doRequest(t, addr, http1.NewRequest("GET", "/static/logo", nil, 0))
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-shutdown status %d", resp.StatusCode)
+	}
+}
+
+// TestEdgeLoopPipelinedRequests: multiple requests written back-to-back
+// must all be answered in one readiness wake (the br.Buffered drain).
+func TestEdgeLoopPipelinedRequests(t *testing.T) {
+	tp, _ := startLoopTopology(t, 1, 1)
+	conn, err := net.DialTimeout("tcp", tp.edge.Addr(VIPWeb), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Park first so the pipelined burst arrives as one wake.
+	time.Sleep(50 * time.Millisecond)
+	const n = 4
+	for i := 0; i < n; i++ {
+		if _, err := http1.WriteRequest(conn, http1.NewRequest("GET", "/static/logo", nil, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(conn)
+	for i := 0; i < n; i++ {
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		resp, err := http1.ReadResponse(br)
+		if err != nil {
+			t.Fatalf("pipelined response %d: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("pipelined response %d: status %d", i, resp.StatusCode)
+		}
+		if _, err := http1.ReadFullBody(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tp.edge.Metrics().CounterValue("edge.http.requests"); got != n {
+		t.Fatalf("edge.http.requests = %d want %d", got, n)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for future debugging in this file

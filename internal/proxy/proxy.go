@@ -35,6 +35,7 @@ import (
 	"zdr/internal/disrupt"
 	"zdr/internal/faults"
 	"zdr/internal/metrics"
+	"zdr/internal/netx"
 	"zdr/internal/obs"
 	"zdr/internal/quicx"
 	"zdr/internal/takeover"
@@ -137,6 +138,16 @@ type Config struct {
 	// the receiver's READY frame; zero means takeover.DefaultReadyTimeout.
 	TakeoverReadyTimeout time.Duration
 
+	// ConnLoop, when non-nil, serves this instance's idle-heavy Edge
+	// connections from an epoll readiness loop (DESIGN.md §11): HTTP
+	// keep-alive connections park between requests and MQTT relays park
+	// their client side, each costing a watch record instead of a blocked
+	// goroutine. The loop is owned by the caller and is per-process state:
+	// after a Socket Takeover the receiving instance registers adopted
+	// traffic in its OWN loop — epoll interest never crosses the hand-off.
+	// Fault-wrapped accepts (AcceptFaults) fall back to goroutine-per-conn.
+	ConnLoop *netx.EventLoop
+
 	// Ledger, when non-nil, receives connection-level disruption events:
 	// accepts, hand-offs, drains, undos, terminal resets/timeouts with
 	// their (cause, phase, generation) attribution, and — when Faults /
@@ -211,6 +222,12 @@ type Proxy struct {
 	// latQUIC measures the Edge's QUIC-style DSR handler.
 	latQUIC *metrics.AtomicHistogram
 
+	// parked tracks event-loop watches for connections idling in
+	// Config.ConnLoop, with the conn each watch guards: terminate must
+	// close them (no goroutine holds them) and retire the bookkeeping.
+	parkedMu sync.Mutex
+	parked   map[*netx.Watch]net.Conn
+
 	takeSrv   *takeover.Server
 	drainSpan *obs.Span
 	drainCh   chan struct{}
@@ -229,6 +246,7 @@ func New(cfg Config, reg *metrics.Registry) *Proxy {
 		tunnels:     make(map[string]*tunnelEntry),
 		mqttConns:   make(map[*mqttRelay]struct{}),
 		srvSessions: make(map[*originSession]struct{}),
+		parked:      make(map[*netx.Watch]net.Conn),
 		drainCh:     make(chan struct{}),
 	}
 	if cfg.Role == RoleOrigin {
@@ -408,6 +426,37 @@ func (p *Proxy) serveLoop(vip string, ln *net.TCPListener, handler func(net.Conn
 			}()
 		}
 	}()
+}
+
+// park stashes a loop watch and the conn it guards so terminate can reap
+// it; settles the race where the watch's handler already reaped before
+// the stash happened.
+func (p *Proxy) park(w *netx.Watch, conn net.Conn) {
+	p.parkedMu.Lock()
+	p.parked[w] = conn
+	p.parkedMu.Unlock()
+	p.reg.Gauge("proxy.loop.parked").Inc()
+	if w.Stopped() && p.unpark(w) {
+		p.reg.Gauge("proxy.loop.parked").Dec()
+	}
+}
+
+func (p *Proxy) unpark(w *netx.Watch) bool {
+	p.parkedMu.Lock()
+	_, ok := p.parked[w]
+	delete(p.parked, w)
+	p.parkedMu.Unlock()
+	return ok
+}
+
+// reapParked closes a parked connection and retires its watch — the
+// loop-mode handler's terminal path.
+func (p *Proxy) reapParked(w *netx.Watch, conn net.Conn) {
+	conn.Close()
+	if p.unpark(w) {
+		p.reg.Gauge("proxy.loop.parked").Dec()
+	}
+	w.Cancel()
 }
 
 // Addr returns the bound address of the named VIP ("" if absent).
@@ -918,6 +967,20 @@ func (p *Proxy) terminate() {
 		sessions = append(sessions, s)
 	}
 	p.mu.Unlock()
+
+	// Parked loop-mode connections have no goroutine to notice the
+	// shutdown; close them and retire their watches here. Draining does
+	// NOT touch them — existing connections are served until terminate,
+	// exactly like their goroutine-backed peers.
+	p.parkedMu.Lock()
+	parked := p.parked
+	p.parked = make(map[*netx.Watch]net.Conn)
+	p.parkedMu.Unlock()
+	for w, c := range parked {
+		c.Close()
+		w.Cancel()
+		p.reg.Gauge("proxy.loop.parked").Dec()
+	}
 
 	if takeSrv != nil {
 		takeSrv.Close()
