@@ -18,6 +18,12 @@
 // baseline: after calibrating out machine speed via the median new/old
 // ns-per-op ratio, any benchmark more than 20% above the calibrated
 // expectation — or allocating >20% more per op — fails the run.
+//
+// -throughput appends the kernel-assisted data-plane suite: splice(2)
+// versus pooled-copy TCP relaying (Gbps and syscalls/MB) and batched
+// versus packet-at-a-time quicx bursts (syscalls/packet). With -compare,
+// the machine-independent numbers gate too: a >20% syscalls-per-unit
+// increase or a >20% drop in the splice-over-copy Gbps speedup fails.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"strings"
 
 	"zdr/internal/idleconns"
+	"zdr/internal/throughput"
 )
 
 // hotPackages are the packages holding data-plane micro-benchmarks.
@@ -44,6 +51,7 @@ var hotPackages = []string{
 	"./internal/quicx",
 	"./internal/bufpool",
 	"./internal/metrics",
+	"./internal/netx",
 }
 
 // Result is one benchmark line.
@@ -70,14 +78,15 @@ type TakeoverPoint struct {
 
 // Baseline is the emitted document.
 type Baseline struct {
-	Command       string          `json:"command"`
-	GoVersion     string          `json:"go_version"`
-	GOOS          string          `json:"goos"`
-	GOARCH        string          `json:"goarch"`
-	Benchtime     string          `json:"benchtime"`
-	CPU           string          `json:"cpu"`
-	Benchmarks    []Result        `json:"benchmarks"`
-	TakeoverCurve []TakeoverPoint `json:"takeover_curve,omitempty"`
+	Command       string                   `json:"command"`
+	GoVersion     string                   `json:"go_version"`
+	GOOS          string                   `json:"goos"`
+	GOARCH        string                   `json:"goarch"`
+	Benchtime     string                   `json:"benchtime"`
+	CPU           string                   `json:"cpu"`
+	Benchmarks    []Result                 `json:"benchmarks"`
+	TakeoverCurve []TakeoverPoint          `json:"takeover_curve,omitempty"`
+	Throughput    []throughput.Measurement `json:"throughput,omitempty"`
 }
 
 func main() {
@@ -88,6 +97,10 @@ func main() {
 	takeoverConns := flag.Int("takeover-conns", 0, "run the idleconns takeover demo curve up to this many connections (0 = skip)")
 	takeoverFlows := flag.Int("takeover-flows", 1<<20, "flow-table population for the takeover curve")
 	compare := flag.String("compare", "", "compare against this baseline file instead of writing one; exit 1 on >20% regression")
+	tput := flag.Bool("throughput", false, "run the zero-copy/batched-syscall throughput suite (splice vs copy, batched vs unbatched quicx)")
+	tputBytes := flag.Int64("throughput-bytes", 256<<20, "bytes to pump through each TCP relay measurement")
+	tputBursts := flag.Int("throughput-bursts", 100, "64-packet bursts per quicx measurement")
+	tputTable := flag.String("throughput-table", "", "also write the human-readable throughput table to this file")
 	flag.Parse()
 
 	args := []string{
@@ -117,8 +130,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	var tputResults []throughput.Measurement
+	if *tput {
+		fmt.Printf("zdr-bench: throughput suite (%d MB relay, %d bursts)\n", *tputBytes>>20, *tputBursts)
+		tputResults, err = throughput.Suite(*tputBytes, *tputBursts, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zdr-bench: throughput suite: %v\n", err)
+			os.Exit(1)
+		}
+		table := throughputTable(tputResults)
+		fmt.Print(table)
+		if *tputTable != "" {
+			if err := os.WriteFile(*tputTable, []byte(table), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "zdr-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *compare != "" {
-		if err := compareBaseline(*compare, results); err != nil {
+		if err := compareBaseline(*compare, results, tputResults); err != nil {
 			fmt.Fprintf(os.Stderr, "zdr-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -134,6 +165,7 @@ func main() {
 		Benchtime:  *benchtime,
 		CPU:        *cpu,
 		Benchmarks: results,
+		Throughput: tputResults,
 	}
 	if *takeoverConns > 0 {
 		curve, err := takeoverCurve(*takeoverConns, *takeoverFlows)
@@ -204,7 +236,7 @@ func takeoverCurve(maxConns, flows int) ([]TakeoverPoint, error) {
 // machine's speed relative to the baseline machine; a benchmark regresses
 // only if it is >20% slower than that calibrated expectation. Allocs/op
 // are machine-independent and gate directly at +20%.
-func compareBaseline(path string, fresh []Result) error {
+func compareBaseline(path string, fresh []Result, freshTput []throughput.Measurement) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -259,11 +291,100 @@ func compareBaseline(path string, fresh []Result) error {
 				p.key, p.now.AllocsPerOp, p.was.AllocsPerOp))
 		}
 	}
+	failures = append(failures, compareThroughput(base.Throughput, freshTput)...)
 	fmt.Printf("zdr-bench: compared %d benchmarks (median speed ratio %.2fx)\n", len(pairs), median)
 	if len(failures) > 0 {
 		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+// compareThroughput gates the machine-independent throughput numbers.
+// Absolute Gbps tracks the host, so it is never compared directly;
+// instead the gate holds (a) syscalls per unit of work — per MB relayed,
+// per packet routed — within +20% of baseline, and (b) the splice-over-
+// copy Gbps speedup ratio, which divides out machine speed, within a
+// wider -33% floor (it is the noisiest of the three; see below).
+func compareThroughput(base, fresh []throughput.Measurement) []string {
+	if len(fresh) == 0 {
+		return nil
+	}
+	if len(base) == 0 {
+		fmt.Println("zdr-bench: baseline has no throughput section; skipping throughput gate")
+		return nil
+	}
+	old := make(map[string]throughput.Measurement, len(base))
+	for _, m := range base {
+		old[m.Name] = m
+	}
+	now := make(map[string]throughput.Measurement, len(fresh))
+	for _, m := range fresh {
+		now[m.Name] = m
+	}
+	const tolerance = 1.20
+	var failures []string
+	for _, m := range fresh {
+		o, ok := old[m.Name]
+		if !ok {
+			continue
+		}
+		if o.SyscallsPerMB > 0 && m.SyscallsPerMB > o.SyscallsPerMB*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.2f syscalls/MB vs baseline %.2f (limit %.2f)",
+				m.Name, m.SyscallsPerMB, o.SyscallsPerMB, o.SyscallsPerMB*tolerance))
+		}
+		if o.SyscallsPerPkt > 0 && m.SyscallsPerPkt > o.SyscallsPerPkt*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.3f syscalls/pkt vs baseline %.3f (limit %.3f)",
+				m.Name, m.SyscallsPerPkt, o.SyscallsPerPkt, o.SyscallsPerPkt*tolerance))
+		}
+	}
+	// The Gbps ratio divides out absolute machine speed but still carries
+	// scheduler noise from two separately timed loopback runs, so its
+	// tolerance is wider than the syscall counters': the gate catches
+	// "splice collapsed relative to copy", not run-to-run jitter.
+	const ratioTolerance = 1.5
+	oldRatio := gbpsRatio(old)
+	newRatio := gbpsRatio(now)
+	if oldRatio > 0 && newRatio > 0 && newRatio < oldRatio/ratioTolerance {
+		failures = append(failures, fmt.Sprintf(
+			"splice speedup: %.2fx over copy vs baseline %.2fx (floor %.2fx)",
+			newRatio, oldRatio, oldRatio/ratioTolerance))
+	}
+	return failures
+}
+
+func gbpsRatio(m map[string]throughput.Measurement) float64 {
+	s, c := m["tcp_relay_splice"], m["tcp_relay_copy"]
+	if s.Gbps <= 0 || c.Gbps <= 0 {
+		return 0
+	}
+	return s.Gbps / c.Gbps
+}
+
+// throughputTable renders the suite results for humans; CI uploads it as
+// an artifact alongside the JSON baseline.
+func throughputTable(ms []throughput.Measurement) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %10s %9s %14s %15s\n",
+		"measurement", "Gbps", "pkts/s", "syscalls/MB", "syscalls/pkt")
+	for _, m := range ms {
+		gbps, pps, spm, spp := "-", "-", "-", "-"
+		if m.Gbps > 0 {
+			gbps = fmt.Sprintf("%.2f", m.Gbps)
+		}
+		if m.Packets > 0 && m.Seconds > 0 {
+			pps = fmt.Sprintf("%.0f", float64(m.Packets)/m.Seconds)
+		}
+		if m.SyscallsPerMB > 0 {
+			spm = fmt.Sprintf("%.2f", m.SyscallsPerMB)
+		}
+		if m.SyscallsPerPkt > 0 {
+			spp = fmt.Sprintf("%.3f", m.SyscallsPerPkt)
+		}
+		fmt.Fprintf(&b, "%-22s %10s %9s %14s %15s\n", m.Name, gbps, pps, spm, spp)
+	}
+	return b.String()
 }
 
 // parseBenchOutput extracts benchmark lines from go test output, tracking

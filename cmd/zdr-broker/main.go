@@ -27,12 +27,14 @@ func main() {
 	profile := flag.Bool("profile", false, "expose /debug/pprof/ and sample Go runtime gauges on the admin endpoint")
 	eventLoop := flag.Bool("event-loop", false, "park idle sessions in an epoll event loop instead of goroutines")
 	loopWorkers := flag.Int("event-loop-workers", 0, "event loop worker pool size (0 = GOMAXPROCS)")
+	tuningFlags := netx.TuningFlags(flag.CommandLine)
 	flag.Parse()
 	if *name == "" {
 		*name = fmt.Sprintf("broker-%d", os.Getpid())
 	}
 
 	b := mqtt.NewBroker(*name, nil)
+	b.SetTuning(tuningFlags())
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

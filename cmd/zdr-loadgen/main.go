@@ -17,12 +17,19 @@
 // once, re-dialing casualties, to measure reconnect-storm absorption:
 //
 //	zdr-loadgen -web 127.0.0.1:8080 -idle-conns 5000 -duration 30s
+//
+// Bulk-transfer mode streams large POST bodies over keep-alive
+// connections and reports client-observed Gbps — the workload that
+// exercises the proxies' splice(2)/pooled-copy relay pumps end to end:
+//
+//	zdr-loadgen -web 127.0.0.1:8080 -throughput -throughput-mb 16 -c 2
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"sync"
@@ -37,6 +44,7 @@ type stats struct {
 	ok, connReset, streamAbort, timeout, writeTimeout atomic.Int64
 	mqttDrops                                         atomic.Int64
 	idleDrops, stormOK, stormReconnect, stormFail     atomic.Int64
+	bulkBytes                                         atomic.Int64
 	latency                                           sync.Mutex
 	latencies                                         []float64
 }
@@ -50,6 +58,8 @@ func main() {
 	mqttConns := flag.Int("mqtt-conns", 0, "persistent MQTT connections to hold")
 	idleConns := flag.Int("idle-conns", 0, "established keep-alive HTTP connections to hold idle, then wake all at once")
 	timeout := flag.Duration("timeout", time.Second, "per-request timeout")
+	tput := flag.Bool("throughput", false, "bulk-transfer mode: stream large POST bodies and report Gbps instead of request-rate load")
+	tputMB := flag.Int("throughput-mb", 16, "POST body size per bulk transfer, in MiB")
 	flag.Parse()
 	if *web == "" && *mqttAddr == "" {
 		fmt.Fprintln(os.Stderr, "need -web and/or -mqtt")
@@ -60,7 +70,19 @@ func main() {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 
-	if *web != "" {
+	if *web != "" && *tput {
+		bulkTimeout := *timeout
+		if bulkTimeout < 30*time.Second {
+			bulkTimeout = 30 * time.Second
+		}
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				bulkWorker(&st, *web, *target, int64(*tputMB)<<20, bulkTimeout, stop)
+			}()
+		}
+	} else if *web != "" {
 		for w := 0; w < *concurrency; w++ {
 			wg.Add(1)
 			go func() {
@@ -99,9 +121,11 @@ func main() {
 	}
 
 	fmt.Printf("load running for %v ...\n", *duration)
+	loadStart := time.Now()
 	time.Sleep(*duration)
 	close(stop)
 	wg.Wait()
+	loadElapsed := time.Since(loadStart).Seconds()
 
 	var stormMs float64
 	if len(idleHerd) > 0 {
@@ -110,6 +134,11 @@ func main() {
 
 	total := st.ok.Load() + st.connReset.Load() + st.streamAbort.Load() + st.timeout.Load() + st.writeTimeout.Load()
 	fmt.Printf("\nHTTP requests: %d\n", total)
+	if *tput {
+		moved := st.bulkBytes.Load()
+		fmt.Printf("Bulk transfer: %d MiB in %.1fs = %.2f Gbps (%d workers, %d MiB bodies)\n",
+			moved>>20, loadElapsed, float64(moved)*8/loadElapsed/1e9, *concurrency, *tputMB)
+	}
 	fmt.Printf("  ok             %d\n", st.ok.Load())
 	fmt.Printf("  conn. rst.     %d\n", st.connReset.Load())
 	fmt.Printf("  stream abort   %d\n", st.streamAbort.Load())
@@ -263,6 +292,83 @@ func doRequest(addr, target string, timeout time.Duration) outcome {
 		return outStreamAbort
 	}
 	return outOK
+}
+
+// bulkWorker streams bodyLen-byte POSTs back to back over one keep-alive
+// connection, re-dialing on error, until stopped. Bytes moved in each
+// direction count toward the Gbps report; the echo appserver reflects the
+// body, so every request exercises both proxy relay directions.
+func bulkWorker(st *stats, addr, target string, bodyLen int64, timeout time.Duration, stop <-chan struct{}) {
+	chunk := make([]byte, 256<<10)
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if conn == nil {
+			var err error
+			conn, err = net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				st.connReset.Add(1)
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		body := &repeatReader{chunk: chunk, left: bodyLen}
+		if _, err := http1.WriteRequest(conn, http1.NewRequest("POST", target, body, bodyLen)); err != nil {
+			st.connReset.Add(1)
+			conn.Close()
+			conn = nil
+			continue
+		}
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		resp, err := http1.ReadResponse(bufio.NewReader(conn))
+		if err != nil {
+			st.connReset.Add(1)
+			conn.Close()
+			conn = nil
+			continue
+		}
+		down, err := io.Copy(io.Discard, resp.Body)
+		if err != nil || resp.StatusCode >= 500 {
+			st.streamAbort.Add(1)
+			conn.Close()
+			conn = nil
+			continue
+		}
+		st.ok.Add(1)
+		st.bulkBytes.Add(bodyLen + down)
+	}
+}
+
+// repeatReader yields `left` bytes from a recycled chunk.
+type repeatReader struct {
+	chunk []byte
+	left  int64
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.left <= 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > r.left {
+		n = int(r.left)
+	}
+	if n > len(r.chunk) {
+		n = len(r.chunk)
+	}
+	copy(p, r.chunk[:n])
+	r.left -= int64(n)
+	return n, nil
 }
 
 func isTimeout(err error) bool {

@@ -34,6 +34,7 @@ import (
 
 	"zdr/internal/disrupt"
 	"zdr/internal/faults"
+	"zdr/internal/metrics"
 	"zdr/internal/netx"
 	"zdr/internal/obs"
 	"zdr/internal/proxy"
@@ -57,12 +58,14 @@ func main() {
 	generation := flag.Int("generation", 1, "process generation for disruption-ledger attribution (bump on each deploy)")
 	eventLoop := flag.Bool("event-loop", false, "park idle edge connections in an epoll event loop instead of goroutines")
 	loopWorkers := flag.Int("event-loop-workers", 0, "event loop worker pool size (0 = GOMAXPROCS)")
+	tuningFlags := netx.TuningFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := proxy.Config{
 		Name:        *name,
 		DrainPeriod: *drain,
 		VIPAddrs:    map[string]string{},
+		Tuning:      tuningFlags(),
 	}
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("%s-%d", *role, os.Getpid())
@@ -120,6 +123,7 @@ func main() {
 			Draining:     p.Draining,
 			ReleaseState: p.ReleaseState,
 			Profile:      *profile,
+			Extra:        []*metrics.Registry{netx.RelayMetrics()},
 			Debug: map[string]func() any{
 				"disruption": func() any { return led.ReportRecent(64) },
 			},

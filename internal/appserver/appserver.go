@@ -31,6 +31,7 @@ import (
 	"zdr/internal/bufpool"
 	"zdr/internal/http1"
 	"zdr/internal/metrics"
+	"zdr/internal/netx"
 	"zdr/internal/obs"
 )
 
@@ -74,6 +75,10 @@ type Config struct {
 	// Trace records appserver.request spans, joining the trace carried in
 	// the x-zdr-trace request header. Nil disables tracing.
 	Trace *obs.Tracer
+	// Tuning, when non-nil, applies socket options to every accepted
+	// connection (netx.TuneConn). Advisory: failures are counted under
+	// appserver.tune.errors and the connection serves untuned.
+	Tuning *netx.ConnTuning
 }
 
 // Server is one app-server instance.
@@ -168,6 +173,9 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		if err := netx.TuneConn(conn, s.cfg.Tuning); err != nil {
+			s.reg.Counter("appserver.tune.errors").Inc()
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()

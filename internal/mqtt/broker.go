@@ -39,6 +39,9 @@ type Broker struct {
 	closed   bool
 
 	faults atomic.Pointer[faults.Injector]
+	// tuning, when set, is applied to every accepted transport before
+	// any fault wrapper hides the descriptor. Advisory; see netx.TuneConn.
+	tuning atomic.Pointer[netx.ConnTuning]
 
 	// parked tracks event-loop watches for idle connections served by
 	// ServeLoop, so Close can retire them (closing a parked conn drops
@@ -56,6 +59,21 @@ type Broker struct {
 // concurrently with Serve.
 func (b *Broker) SetFaults(in *faults.Injector) {
 	b.faults.Store(in)
+}
+
+// SetTuning installs socket options (netx.ConnTuning) applied to every
+// transport the broker accepts. Pass nil to stop tuning. Safe to call
+// concurrently with Serve.
+func (b *Broker) SetTuning(t *netx.ConnTuning) {
+	b.tuning.Store(t)
+}
+
+// tune applies the installed tuning to a freshly accepted conn;
+// failures are counted, never fatal.
+func (b *Broker) tune(conn net.Conn) {
+	if err := netx.TuneConn(conn, b.tuning.Load()); err != nil {
+		b.reg.Counter("mqtt.tune.errors").Inc()
+	}
 }
 
 // session is per-user connection context.
@@ -97,6 +115,7 @@ func (b *Broker) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		b.tune(conn)
 		conn = b.faults.Load().Conn(conn)
 		b.wg.Add(1)
 		go func() {
@@ -258,6 +277,7 @@ func (b *Broker) ServeLoop(ln net.Listener, loop *netx.EventLoop) error {
 			}
 			return err
 		}
+		b.tune(conn)
 		conn = b.faults.Load().Conn(conn)
 		b.wg.Add(1)
 		go func() {

@@ -1,0 +1,242 @@
+package netx
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a loopback TCP connection.
+func tcpConnPair(t testing.TB) (*net.TCPConn, *net.TCPConn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		client.Close()
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client.(*net.TCPConn), r.c.(*net.TCPConn)
+}
+
+// relayChain builds client → relay → sink and returns the client-side
+// conn to write into, the sink-side conn to read from, and the relay's
+// two inner TCP conns handed to the pump under test.
+func relayChain(t *testing.T) (in *net.TCPConn, out *net.TCPConn, src *net.TCPConn, dst *net.TCPConn) {
+	t.Helper()
+	in, src = tcpConnPair(t)
+	dst, out = tcpConnPair(t)
+	return in, out, src, dst
+}
+
+func TestRelaySpliceTCPToTCP(t *testing.T) {
+	in, out, src, dst := relayChain(t)
+	before := ReadRelayStats()
+
+	payload := bytes.Repeat([]byte("zero-downtime"), 1<<15) // ~416 KiB
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var relayN int64
+	var relayErr error
+	go func() {
+		defer wg.Done()
+		relayN, relayErr = Relay(dst, src)
+		dst.CloseWrite()
+	}()
+	go func() {
+		in.Write(payload)
+		in.CloseWrite()
+	}()
+	got, err := io.ReadAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if relayErr != nil {
+		t.Fatalf("relay error: %v", relayErr)
+	}
+	if relayN != int64(len(payload)) || !bytes.Equal(got, payload) {
+		t.Fatalf("relayed %d bytes (want %d), payload match=%v", relayN, len(payload), bytes.Equal(got, payload))
+	}
+	after := ReadRelayStats()
+	if d := after.SpliceBytes - before.SpliceBytes; d < int64(len(payload)) {
+		t.Errorf("splice_bytes grew by %d, want >= %d (zero-copy path not taken)", d, len(payload))
+	}
+}
+
+func TestRelayWrappedConnTakesCopyPath(t *testing.T) {
+	in, out, src, dst := relayChain(t)
+	before := ReadRelayStats()
+
+	// An observing wrapper — the faults package's shape: embeds the
+	// net.Conn interface, so it is neither *net.TCPConn nor syscall.Conn.
+	var seen int64
+	wsrc := &observedConn{Conn: src, n: &seen}
+
+	payload := bytes.Repeat([]byte("observable"), 4096)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Relay(dst, wsrc)
+		dst.CloseWrite()
+	}()
+	go func() {
+		in.Write(payload)
+		in.CloseWrite()
+	}()
+	got, err := io.ReadAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted on copy path")
+	}
+	if seen != int64(len(payload)) {
+		t.Errorf("wrapper observed %d bytes, want %d — copy path must pass every byte through the wrapper", seen, len(payload))
+	}
+	after := ReadRelayStats()
+	if d := after.CopyBytes - before.CopyBytes; d < int64(len(payload)) {
+		t.Errorf("copy_bytes grew by %d, want >= %d", d, len(payload))
+	}
+	if after.SpliceBytes != before.SpliceBytes {
+		t.Errorf("splice_bytes moved for a wrapped conn: %d -> %d", before.SpliceBytes, after.SpliceBytes)
+	}
+}
+
+type observedConn struct {
+	net.Conn
+	n *int64
+}
+
+func (o *observedConn) Read(p []byte) (int, error) {
+	n, err := o.Conn.Read(p)
+	*o.n += int64(n)
+	return n, err
+}
+
+func TestSpliceLargeTransferIntegrity(t *testing.T) {
+	in, out, src, dst := relayChain(t)
+
+	const total = 8 << 20
+	chunk := make([]byte, 32<<10)
+	for i := range chunk {
+		chunk[i] = byte(i * 31)
+	}
+	wantSum := sha256.New()
+	go func() {
+		left := total
+		for left > 0 {
+			n := len(chunk)
+			if n > left {
+				n = left
+			}
+			wantSum.Write(chunk[:n])
+			if _, err := in.Write(chunk[:n]); err != nil {
+				return
+			}
+			left -= n
+		}
+		in.CloseWrite()
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n, handled, err := Splice(dst, src)
+		if !handled {
+			t.Error("splice not handled on a bare TCP pair")
+		}
+		if err != nil {
+			t.Errorf("splice error: %v", err)
+		}
+		if n != total {
+			t.Errorf("spliced %d bytes, want %d", n, total)
+		}
+		dst.CloseWrite()
+	}()
+	gotSum := sha256.New()
+	n, err := io.Copy(gotSum, out)
+	if err != nil || n != total {
+		t.Fatalf("sink read %d bytes, err %v", n, err)
+	}
+	<-done
+	if !bytes.Equal(gotSum.Sum(nil), wantSum.Sum(nil)) {
+		t.Fatal("checksum mismatch after splice relay")
+	}
+}
+
+func TestSpliceHonorsDeadline(t *testing.T) {
+	_, _, src, dst := relayChain(t)
+	src.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	_, handled, err := Splice(dst, src)
+	if !handled {
+		t.Fatal("expected splice path")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+}
+
+func TestPipePoolDrainLeavesNoFDs(t *testing.T) {
+	// Prime then drain the pool and check the fd table returns to its
+	// baseline — the audit a retiring generation runs at terminal drain.
+	DrainPipePool()
+	base, err := OpenFDCount()
+	if err != nil {
+		t.Skipf("no /proc fd table: %v", err)
+	}
+	in, out, src, dst := relayChain(t)
+	go func() {
+		in.Write([]byte("prime the pool"))
+		in.CloseWrite()
+	}()
+	go io.Copy(io.Discard, out)
+	if _, handled, err := Splice(dst, src); !handled || err != nil {
+		t.Fatalf("splice handled=%v err=%v", handled, err)
+	}
+	if n := DrainPipePool(); n == 0 {
+		t.Fatal("expected at least one pooled pipe after a splice relay")
+	}
+	in.Close()
+	out.Close()
+	src.Close()
+	dst.Close()
+	// Conn closes release their fds asynchronously via the runtime; poll.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		now, err := OpenFDCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if now <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fd count %d never returned to baseline %d", now, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,5 @@
+package netx
+
+// sendmmsg(2) postdates the syscall package's frozen number table, so the
+// number is pinned per architecture. Kernel ABI, stable.
+const sysSendmmsg = 269

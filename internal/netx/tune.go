@@ -1,0 +1,151 @@
+// Socket tuning: the latency/throughput knobs the paper's data plane
+// turns at accept and dial time, surfaced as config so proxy, broker and
+// app server expose them uniformly.
+package netx
+
+import (
+	"errors"
+	"flag"
+	"net"
+	"syscall"
+)
+
+// Linux socket options the syscall package does not export. Kernel ABI,
+// stable values (matching include/uapi/asm-generic/socket.h and tcp.h).
+const (
+	soBusyPoll  = 0x2e // SO_BUSY_POLL: microseconds to busy-wait for rx
+	tcpQuickAck = 0xc  // TCP_QUICKACK: disable delayed ACKs (one-shot)
+)
+
+// ConnTuning describes socket options to apply to accepted and dialed
+// connections. Tri-state fields use +1 enable / -1 disable / 0 leave the
+// stack default; sizes use 0 to leave the default.
+type ConnTuning struct {
+	// NoDelay controls TCP_NODELAY. Go enables it by default; -1 restores
+	// Nagle for bulk-transfer workloads.
+	NoDelay int
+	// QuickAck controls TCP_QUICKACK. The kernel may re-enter delayed-ACK
+	// mode on its own; this sets the initial state at accept/dial.
+	QuickAck int
+	// BusyPollUs sets SO_BUSY_POLL to this many microseconds (>0). The
+	// kernel may require CAP_NET_ADMIN; EPERM is reported like any other
+	// failure and callers treat tuning as best-effort.
+	BusyPollUs int
+	// SendBuf / RecvBuf set SO_SNDBUF / SO_RCVBUF in bytes (>0). The
+	// kernel doubles the value it books; what matters is relative sizing.
+	SendBuf int
+	RecvBuf int
+}
+
+// Zero reports whether t requests no changes.
+func (t *ConnTuning) Zero() bool {
+	return t == nil || *t == ConnTuning{}
+}
+
+// Apply sets the requested options on c's descriptor via SyscallConn
+// (never File()/Fd(), which would flip a shared descriptor to blocking
+// mode). Options are applied independently; the first setsockopt error
+// is returned after attempting the rest. Callers treat failures as
+// advisory — a proxy keeps serving on an untuned socket.
+func (t *ConnTuning) Apply(c syscall.Conn) error {
+	if t.Zero() {
+		return nil
+	}
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	ctrlErr := rc.Control(func(fd uintptr) {
+		set := func(level, opt, val int) {
+			if err := syscall.SetsockoptInt(int(fd), level, opt, val); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if t.NoDelay != 0 {
+			set(syscall.IPPROTO_TCP, syscall.TCP_NODELAY, boolOpt(t.NoDelay))
+		}
+		if t.QuickAck != 0 {
+			set(syscall.IPPROTO_TCP, tcpQuickAck, boolOpt(t.QuickAck))
+		}
+		if t.BusyPollUs > 0 {
+			set(syscall.SOL_SOCKET, soBusyPoll, t.BusyPollUs)
+		}
+		if t.SendBuf > 0 {
+			set(syscall.SOL_SOCKET, syscall.SO_SNDBUF, t.SendBuf)
+		}
+		if t.RecvBuf > 0 {
+			set(syscall.SOL_SOCKET, syscall.SO_RCVBUF, t.RecvBuf)
+		}
+	})
+	if ctrlErr != nil {
+		return ctrlErr
+	}
+	return firstErr
+}
+
+// TuningFlags registers the socket-tuning command-line flags the daemons
+// (zdr-proxy, zdr-broker, zdr-appserver) share, and returns a builder to
+// call after parsing. The builder returns nil when no tuning flag was
+// given, so an untouched daemon skips the setsockopt path entirely;
+// boolean flags are tri-state — only an explicit -tcp-nodelay=false
+// produces a disable.
+func TuningFlags(fs *flag.FlagSet) func() *ConnTuning {
+	noDelay := fs.Bool("tcp-nodelay", true, "set TCP_NODELAY on accepted/dialed connections")
+	quickAck := fs.Bool("tcp-quickack", false, "set TCP_QUICKACK on accepted/dialed connections")
+	busyPoll := fs.Int("busy-poll-us", 0, "SO_BUSY_POLL busy-read microseconds (0 = kernel default; may need CAP_NET_ADMIN)")
+	sndBuf := fs.Int("sndbuf", 0, "SO_SNDBUF bytes on accepted/dialed connections (0 = kernel default)")
+	rcvBuf := fs.Int("rcvbuf", 0, "SO_RCVBUF bytes on accepted/dialed connections (0 = kernel default)")
+	return func() *ConnTuning {
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		tri := func(name string, v bool) int {
+			switch {
+			case !set[name]:
+				return 0
+			case v:
+				return 1
+			default:
+				return -1
+			}
+		}
+		t := &ConnTuning{
+			NoDelay:    tri("tcp-nodelay", *noDelay),
+			QuickAck:   tri("tcp-quickack", *quickAck),
+			BusyPollUs: *busyPoll,
+			SendBuf:    *sndBuf,
+			RecvBuf:    *rcvBuf,
+		}
+		if t.Zero() {
+			return nil
+		}
+		return t
+	}
+}
+
+func boolOpt(v int) int {
+	if v > 0 {
+		return 1
+	}
+	return 0
+}
+
+// TuneConn applies t to conn when the connection exposes its descriptor.
+// Wrapped conns (fault injectors, tees) are skipped silently: tuning
+// targets real sockets at accept/dial, and a wrapper that hides the
+// descriptor is asking not to be touched.
+func TuneConn(conn net.Conn, t *ConnTuning) error {
+	if t.Zero() {
+		return nil
+	}
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return nil
+	}
+	err := t.Apply(sc)
+	// A conn that closed between accept and tune is not a tuning failure.
+	if errors.Is(err, syscall.EBADF) {
+		return nil
+	}
+	return err
+}

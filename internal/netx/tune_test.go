@@ -1,0 +1,57 @@
+package netx
+
+import (
+	"net"
+	"syscall"
+	"testing"
+)
+
+func TestTuneConnAppliesBufferSizes(t *testing.T) {
+	c, _ := tcpConnPair(t)
+	tuning := &ConnTuning{NoDelay: 1, QuickAck: 1, SendBuf: 128 << 10, RecvBuf: 128 << 10}
+	if err := TuneConn(c, tuning); err != nil {
+		t.Fatalf("TuneConn: %v", err)
+	}
+	rc, err := c.SyscallConn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snd, rcv int
+	rc.Control(func(fd uintptr) {
+		snd, _ = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF)
+		rcv, _ = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF)
+	})
+	// The kernel books 2x the requested size; it may also clamp, so just
+	// require the setting took relative to a tiny default.
+	if snd < 128<<10 || rcv < 128<<10 {
+		t.Errorf("SO_SNDBUF=%d SO_RCVBUF=%d, want >= %d", snd, rcv, 128<<10)
+	}
+}
+
+func TestTuneConnDisableNoDelay(t *testing.T) {
+	c, _ := tcpConnPair(t)
+	if err := TuneConn(c, &ConnTuning{NoDelay: -1}); err != nil {
+		t.Fatalf("TuneConn: %v", err)
+	}
+	rc, _ := c.SyscallConn()
+	var nd int
+	rc.Control(func(fd uintptr) {
+		nd, _ = syscall.GetsockoptInt(int(fd), syscall.IPPROTO_TCP, syscall.TCP_NODELAY)
+	})
+	if nd != 0 {
+		t.Errorf("TCP_NODELAY=%d after disable, want 0", nd)
+	}
+}
+
+type opaqueConn struct{ net.Conn }
+
+func TestTuneConnSkipsWrappedConns(t *testing.T) {
+	c, _ := tcpConnPair(t)
+	if err := TuneConn(opaqueConn{c}, &ConnTuning{NoDelay: 1}); err != nil {
+		t.Errorf("wrapped conn should be skipped, got %v", err)
+	}
+	var nilTuning *ConnTuning
+	if err := TuneConn(c, nilTuning); err != nil {
+		t.Errorf("nil tuning should be a no-op, got %v", err)
+	}
+}

@@ -55,6 +55,11 @@ type Admin struct {
 	Tracer       *Tracer
 	Draining     func() bool
 	ReleaseState func() ReleaseState
+	// Extra registries are rendered into /metrics after Registry.
+	// Daemons use it for process-wide accounting that lives outside any
+	// one server's registry — e.g. netx's relay counters, which every
+	// pump in the process shares.
+	Extra []*metrics.Registry
 	// Debug mounts extra JSON pages under /debug/: each entry name is
 	// served at /debug/<name> by marshalling the function's return value.
 	// Daemons use it to expose subsystem state (rollout status, fleet
@@ -73,6 +78,9 @@ func (a *Admin) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if a.Registry != nil {
 			w.Write([]byte(RenderPrometheus(a.Registry.Snapshot())))
+		}
+		for _, reg := range a.Extra {
+			w.Write([]byte(RenderPrometheus(reg.Snapshot())))
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {

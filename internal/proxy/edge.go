@@ -237,10 +237,12 @@ func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 	}
 
 	// Pump the request body upstream while watching for the response.
+	// netx.Relay keeps this on the pooled-copy path (the stream side is
+	// h2t-framed) while making the selection explicit and accounted.
 	if req.Body != nil {
 		done := make(chan error, 1)
 		go func() {
-			_, err := bufpool.Copy(st, req.Body)
+			_, err := netx.Relay(st, req.Body)
 			if err == nil {
 				err = st.CloseWrite()
 			}

@@ -16,6 +16,7 @@ import (
 	"zdr/internal/h2t"
 	"zdr/internal/http1"
 	"zdr/internal/mqtt"
+	"zdr/internal/netx"
 	"zdr/internal/obs"
 )
 
@@ -235,17 +236,21 @@ func (p *Proxy) relayMQTT(os *originSession, st *h2t.Stream, userID, trace strin
 		p.reg.Gauge("origin.mqtt.active").Dec()
 	}()
 
-	// Bidirectional byte relay; returns when either side closes.
-	// Both directions are wrapped to plain io.Writer so the pooled copy
-	// buffer is actually used (a bare *net.TCPConn dst would divert
-	// io.CopyBuffer into ReadFrom, which allocates its own scratch).
+	// Bidirectional byte relay; returns when either side closes. The
+	// relay selector (netx.Relay) takes the kernel splice path only when
+	// both ends are bare TCP conns; the stream side here is h2t-framed,
+	// so these pumps keep the pooled copy — with both ends wrapped plain
+	// inside Relay, since a bare *net.TCPConn dst would divert
+	// io.CopyBuffer into ReadFrom and allocate its own scratch. A fault-
+	// wrapped bconn also fails the selector, keeping injected faults on
+	// the observable path.
 	errCh := make(chan error, 2)
 	go func() {
-		_, err := bufpool.Copy(struct{ io.Writer }{bconn}, st)
+		_, err := netx.Relay(bconn, st)
 		errCh <- err
 	}()
 	go func() {
-		_, err := bufpool.Copy(struct{ io.Writer }{st}, bconn)
+		_, err := netx.Relay(st, bconn)
 		errCh <- err
 	}()
 	<-errCh
@@ -557,7 +562,7 @@ func (p *Proxy) relayResponse(st *h2t.Stream, resp *http1.Response) {
 		return
 	}
 	if resp.Body != nil {
-		if _, err := bufpool.Copy(struct{ io.Writer }{st}, resp.Body); err != nil {
+		if _, err := netx.Relay(st, resp.Body); err != nil {
 			st.Reset()
 			return
 		}

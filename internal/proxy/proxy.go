@@ -148,6 +148,14 @@ type Config struct {
 	// Fault-wrapped accepts (AcceptFaults) fall back to goroutine-per-conn.
 	ConnLoop *netx.EventLoop
 
+	// Tuning, when non-nil, applies socket options (TCP_NODELAY,
+	// TCP_QUICKACK, SO_BUSY_POLL, buffer sizes) to every connection this
+	// proxy accepts on its TCP VIPs and every upstream connection it
+	// dials. Best-effort: a setsockopt failure is counted
+	// (proxy.tune.errors) and the connection serves untuned. Fault-
+	// wrapped conns hide their descriptor and are skipped by design.
+	Tuning *netx.ConnTuning
+
 	// Ledger, when non-nil, receives connection-level disruption events:
 	// accepts, hand-offs, drains, undos, terminal resets/timeouts with
 	// their (cause, phase, generation) attribution, and — when Faults /
@@ -403,7 +411,22 @@ func (p *Proxy) quicHandler(conn quicx.ConnID, payload []byte) []byte {
 // broker) through the optional fault injector; with no injector it is
 // exactly net.DialTimeout.
 func (p *Proxy) dialUpstream(addr string) (net.Conn, error) {
-	return p.cfg.Faults.Dial("tcp", addr, p.cfg.DialTimeout)
+	conn, err := p.cfg.Faults.Dial("tcp", addr, p.cfg.DialTimeout)
+	if err == nil {
+		p.tune(conn)
+	}
+	return conn, err
+}
+
+// tune applies the configured socket options to a freshly accepted or
+// dialed conn. Advisory: failures count, the conn serves untuned.
+func (p *Proxy) tune(conn net.Conn) {
+	if p.cfg.Tuning.Zero() {
+		return
+	}
+	if err := netx.TuneConn(conn, p.cfg.Tuning); err != nil {
+		p.reg.Counter("proxy.tune.errors").Inc()
+	}
 }
 
 // serveLoop runs an accept loop feeding handler goroutines. vip names
@@ -418,6 +441,7 @@ func (p *Proxy) serveLoop(vip string, ln *net.TCPListener, handler func(net.Conn
 				return // listener handle closed (drain or shutdown)
 			}
 			p.cfg.Ledger.Record(disrupt.KindAccept, p.connSeq.Add(1), vip, "", "")
+			p.tune(conn)
 			c := p.cfg.AcceptFaults.Conn(conn)
 			p.wg.Add(1)
 			go func() {

@@ -1,0 +1,110 @@
+package quicx
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"zdr/internal/metrics"
+)
+
+// TestBurstPacketsPerSyscall pins the batching win: a 64-packet burst
+// already queued in the socket buffer must be drained and answered with
+// at least a 4x reduction in syscalls per packet in each direction —
+// recvmmsg on the way in, one coalesced sendmmsg flush per drained burst
+// on the way out.
+func TestBurstPacketsPerSyscall(t *testing.T) {
+	vip, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	srv := NewServer("burst", vip, func(conn ConnID, payload []byte) []byte {
+		return payload
+	}, reg)
+	defer srv.Close()
+
+	// Land the whole burst before the server reads a single packet, so
+	// the ratio is deterministic rather than racing the sender.
+	client, err := net.Dial("udp", vip.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	const burst = 64
+	if _, err := client.Write(Marshal(Packet{Type: PktInitial, Conn: 7, Payload: []byte("open")})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < burst; i++ {
+		if _, err := client.Write(Marshal(Packet{Type: PktData, Conn: 7, Payload: []byte(fmt.Sprintf("d%02d", i))})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let the kernel queue the burst
+
+	srv.Start()
+	deadline := time.Now().Add(3 * time.Second)
+	for reg.CounterValue("quicx.rx") < burst {
+		if time.Now().After(deadline) {
+			t.Fatalf("server saw %d/%d packets", reg.CounterValue("quicx.rx"), burst)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	recvCalls := reg.CounterValue("quicx.batch.recvmmsg_calls")
+	if recvCalls == 0 || recvCalls > burst/4 {
+		t.Errorf("recvmmsg_calls = %d for a %d-packet burst, want 1..%d (>=4x fewer syscalls)", recvCalls, burst, burst/4)
+	}
+	if tx := reg.CounterValue("quicx.tx"); tx != burst {
+		t.Fatalf("tx = %d, want %d replies", tx, burst)
+	}
+	flushes := reg.CounterValue("quicx.batch.sendmmsg_flushes")
+	if flushes == 0 || flushes > burst/4 {
+		t.Errorf("sendmmsg_flushes = %d for %d replies, want 1..%d (coalesced bursts)", flushes, burst, burst/4)
+	}
+	if ratio := reg.GaugeValue("quicx.batch.pkts_per_recvmmsg"); ratio < 4000 {
+		t.Errorf("pkts_per_recvmmsg = %d milli-pkts/call, want >= 4000", ratio)
+	}
+}
+
+// TestDisableBatchOneSyscallPerPacket locks the before/after lever the
+// throughput benchmark depends on: with batching disabled the server
+// falls back to exactly one read syscall and one write syscall per
+// packet.
+func TestDisableBatchOneSyscallPerPacket(t *testing.T) {
+	vip, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	srv := NewServer("unbatched", vip, func(conn ConnID, payload []byte) []byte {
+		return payload
+	}, reg)
+	srv.DisableBatch()
+	defer srv.Close()
+	srv.Start()
+
+	client, err := Dial(vip.LocalAddr().String(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Open([]byte("hi"), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	const pkts = 16
+	for i := 0; i < pkts; i++ {
+		if _, err := client.Send([]byte("ping"), 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rx := reg.CounterValue("quicx.rx")
+	if calls := reg.CounterValue("quicx.batch.recvmmsg_calls"); calls != rx {
+		t.Errorf("unbatched recv calls = %d for %d packets, want equal", calls, rx)
+	}
+	tx := reg.CounterValue("quicx.tx")
+	if flushes := reg.CounterValue("quicx.batch.sendmmsg_flushes"); flushes != tx {
+		t.Errorf("unbatched send flushes = %d for %d replies, want equal", flushes, tx)
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"zdr/internal/bufpool"
 	"zdr/internal/metrics"
+	"zdr/internal/netx"
 )
 
 // PacketType is the first byte of every datagram.
@@ -164,6 +165,15 @@ type Server struct {
 	main net.PacketConn // the VIP socket (shared across takeover)
 	fwd  *net.UDPConn   // host-local forward receive socket (drain side)
 
+	// out is the batched sender over the shared VIP socket: replies and
+	// forwards from both read loops coalesce through it, one sendmmsg
+	// per drained burst instead of one WriteTo per packet. Created
+	// lazily so DisableBatch can run between NewServer and Start.
+	out *netx.BatchPacketConn
+	// noBatch forces one-syscall-per-packet I/O in both directions —
+	// the before/after lever for throughput benchmarks.
+	noBatch bool
+
 	wg sync.WaitGroup
 }
 
@@ -188,6 +198,31 @@ func NewServer(name string, vip net.PacketConn, handler Handler, reg *metrics.Re
 
 // Metrics returns the server's registry.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// DisableBatch forces one-syscall-per-packet socket I/O (the pre-batching
+// data plane) so benchmarks can measure the recvmmsg/sendmmsg win. Must
+// be called before Start.
+func (s *Server) DisableBatch() {
+	s.mu.Lock()
+	s.noBatch = true
+	s.mu.Unlock()
+}
+
+// sender returns the batched VIP writer, creating it on first use. Both
+// read loops share it: the VIP socket outlives any one loop generation,
+// so the send rings follow the socket, not the loop.
+func (s *Server) sender() *netx.BatchPacketConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.out == nil {
+		s.out = netx.NewBatchPacketConn(s.main, netx.BatchConfig{
+			Registry:           s.reg,
+			Prefix:             "quicx.batch",
+			DisableKernelBatch: s.noBatch,
+		})
+	}
+	return s.out
+}
 
 // Start begins reading the VIP socket.
 func (s *Server) Start() {
@@ -329,12 +364,37 @@ func (s *Server) Close() {
 		fwd.Close()
 	}
 	s.wg.Wait()
+	// Loops are gone; release the shared sender's rings (a late sender()
+	// call from a loop could have created it after the flag flipped, so
+	// re-read under the lock).
+	s.mu.Lock()
+	out := s.out
+	s.out = nil
+	s.mu.Unlock()
+	if out != nil {
+		out.Release()
+	}
 }
 
 func (s *Server) readLoop(conn net.PacketConn, forwarded bool) {
-	buf := make([]byte, maxDatagram)
+	s.mu.Lock()
+	noBatch := s.noBatch
+	s.mu.Unlock()
+	// The receive ring belongs to this loop and is released when it
+	// exits — the loop-per-generation ownership rule: after a drain →
+	// undo cycle the replacement reader builds its own ring, just as a
+	// succeeding process builds its own. On a fault-wrapped conn the
+	// ring degrades to one ReadFrom per packet, keeping every datagram
+	// visible to the wrapper.
+	bc := netx.NewBatchPacketConn(conn, netx.BatchConfig{
+		Registry:           s.reg,
+		Prefix:             "quicx.batch",
+		DisableKernelBatch: noBatch,
+	})
+	defer bc.Release()
+	out := s.sender()
 	for {
-		n, from, err := conn.ReadFrom(buf)
+		msgs, err := bc.ReadBatch()
 		if err != nil {
 			if !forwarded {
 				// The exit decision and the mainLoops decrement are one
@@ -361,18 +421,27 @@ func (s *Server) readLoop(conn net.PacketConn, forwarded bool) {
 		}
 		// handlePacket is synchronous and everything downstream (handler,
 		// reply marshal, forward encapsulation) finishes with the bytes
-		// before it returns, so the datagram is processed in place — no
-		// per-packet copy.
-		if forwarded {
-			inner, origFrom, err := unwrapForwarded(buf[:n])
-			if err != nil {
-				s.reg.Counter("quicx.forward.bad").Inc()
+		// before it returns, so each datagram is processed in place — no
+		// per-packet copy; Messages alias the ring until the next
+		// ReadBatch. Replies and forwards queue on the batched sender
+		// and go out as one sendmmsg when the burst is drained.
+		for _, m := range msgs {
+			if m.Addr == nil {
+				s.reg.Counter("quicx.malformed").Inc()
 				continue
 			}
-			s.handlePacket(inner, origFrom)
-			continue
+			if forwarded {
+				inner, origFrom, err := unwrapForwarded(m.Buf)
+				if err != nil {
+					s.reg.Counter("quicx.forward.bad").Inc()
+					continue
+				}
+				s.handlePacket(inner, origFrom)
+				continue
+			}
+			s.handlePacket(m.Buf, m.Addr)
 		}
-		s.handlePacket(buf[:n], from)
+		out.Flush()
 	}
 }
 
@@ -415,7 +484,7 @@ func (s *Server) handlePacket(raw []byte, from net.Addr) {
 				addr := from.String()
 				bp := bufpool.Get(3 + len(addr) + len(raw))
 				fw := appendForwarded((*bp)[:0], raw, addr)
-				_, err := s.main.WriteTo(fw, fwdTo)
+				err := s.sender().QueueTo(fw, fwdTo)
 				bufpool.Put(bp)
 				if err == nil {
 					s.reg.Counter("quicx.forwarded").Inc()
@@ -453,7 +522,10 @@ func (s *Server) reply(conn ConnID, to net.Addr, payload []byte) {
 	}
 	bp := bufpool.Get(headerLen + len(payload))
 	pkt := AppendPacket((*bp)[:0], Packet{Type: PktData, Conn: conn, Payload: payload})
-	_, err := s.main.WriteTo(pkt, to)
+	// QueueTo copies pkt into its send ring (or writes through
+	// immediately on the fallback path), so the scratch can be returned
+	// right away; the read loop flushes the ring after each burst.
+	err := s.sender().QueueTo(pkt, to)
 	bufpool.Put(bp)
 	if err == nil {
 		s.reg.Counter("quicx.tx").Inc()
