@@ -23,6 +23,16 @@
 // exercises the proxies' splice(2)/pooled-copy relay pumps end to end:
 //
 //	zdr-loadgen -web 127.0.0.1:8080 -throughput -throughput-mb 16 -c 2
+//
+// Steering mode runs a client-side katran instance over a set of edge
+// web VIPs — the loadgen plays the L4 tier, so a rolling edge restart
+// can be watched from the steering vantage point. With -steering
+// prequal and -steer-health, draining edges advertise their phase over
+// the load-probe channel and the loadgen bleeds new flows off them:
+//
+//	zdr-loadgen -steer-backends 127.0.0.1:8080,127.0.0.1:8090 \
+//	            -steer-health 127.0.0.1:8081,127.0.0.1:8091 \
+//	            -steering prequal -duration 30s
 package main
 
 import (
@@ -32,11 +42,14 @@ import (
 	"io"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zdr/internal/http1"
+	"zdr/internal/katran"
+	"zdr/internal/metrics"
 	"zdr/internal/mqtt"
 )
 
@@ -60,10 +73,52 @@ func main() {
 	timeout := flag.Duration("timeout", time.Second, "per-request timeout")
 	tput := flag.Bool("throughput", false, "bulk-transfer mode: stream large POST bodies and report Gbps instead of request-rate load")
 	tputMB := flag.Int("throughput-mb", 16, "POST body size per bulk transfer, in MiB")
+	steerBackends := flag.String("steer-backends", "", "comma-separated edge web VIPs to steer across with a client-side katran instance (replaces -web for request load)")
+	steerHealth := flag.String("steer-health", "", "comma-separated edge health VIPs, parallel to -steer-backends (enables health checks and prequal load probing)")
+	steering := flag.String("steering", "maglev", "steering policy for -steer-backends: maglev | prequal")
 	flag.Parse()
-	if *web == "" && *mqttAddr == "" {
-		fmt.Fprintln(os.Stderr, "need -web and/or -mqtt")
+	if *web == "" && *mqttAddr == "" && *steerBackends == "" {
+		fmt.Fprintln(os.Stderr, "need -web, -steer-backends and/or -mqtt")
 		os.Exit(2)
+	}
+
+	// Steering mode: the loadgen runs its own katran instance and picks a
+	// backend per request; `pick` stays nil otherwise and workers hit -web
+	// directly.
+	var pick func() (string, error)
+	if *steerBackends != "" {
+		backends := splitList(*steerBackends)
+		healths := splitList(*steerHealth)
+		if len(healths) != 0 && len(healths) != len(backends) {
+			fmt.Fprintln(os.Stderr, "-steer-health must list one address per -steer-backends entry")
+			os.Exit(2)
+		}
+		reg := metrics.NewRegistry()
+		lb := katran.New("loadgen", katran.Config{
+			Policy: katran.NewPolicy(*steering, katran.PrequalConfig{}, reg),
+		}, reg)
+		defer lb.Close()
+		for i, addr := range backends {
+			b := katran.Backend{Name: addr, Addr: addr}
+			if len(healths) > 0 {
+				b.HealthAddr = healths[i]
+			}
+			lb.AddBackend(b, true)
+		}
+		if len(healths) > 0 {
+			lb.StartHealthChecks(500 * time.Millisecond)
+		}
+		var seq atomic.Uint64
+		pick = func() (string, error) {
+			b, err := lb.Steer(seq.Add(1))
+			if err != nil {
+				return "", err
+			}
+			return b.Addr, nil
+		}
+		if *web == "" {
+			*web = backends[0] // idle-herd / bulk modes fall back to the first backend
+		}
 	}
 
 	var st stats
@@ -93,8 +148,17 @@ func main() {
 						return
 					default:
 					}
+					addr := *web
+					if pick != nil {
+						var err error
+						if addr, err = pick(); err != nil {
+							st.connReset.Add(1)
+							time.Sleep(10 * time.Millisecond)
+							continue
+						}
+					}
 					start := time.Now()
-					classify(&st, doRequest(*web, *target, *timeout))
+					classify(&st, doRequest(addr, *target, *timeout))
 					st.latency.Lock()
 					st.latencies = append(st.latencies, float64(time.Since(start).Microseconds()))
 					st.latency.Unlock()
@@ -374,6 +438,16 @@ func (r *repeatReader) Read(p []byte) (int, error) {
 func isTimeout(err error) bool {
 	ne, ok := err.(net.Error)
 	return ok && ne.Timeout()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // holdMQTT keeps one persistent MQTT connection pinging; every drop is a

@@ -44,6 +44,8 @@ func main() {
 	role := flag.String("role", "edge", "proxy role: edge | origin")
 	name := flag.String("name", "", "instance name (default <role>-<pid>)")
 	origins := flag.String("origin", "", "comma-separated origin tunnel addresses (edge role)")
+	originHealth := flag.String("origin-health", "", "comma-separated origin health VIP addresses, parallel to -origin (enables load probing for -steering prequal)")
+	steering := flag.String("steering", "", "origin steering policy: maglev | prequal (edge role; empty keeps legacy round-robin failover)")
 	apps := flag.String("app", "", "comma-separated app server addresses (origin role)")
 	brokers := flag.String("broker", "", "comma-separated MQTT broker addresses (origin role)")
 	web := flag.String("web", "", "web VIP bind address (edge)")
@@ -79,6 +81,11 @@ func main() {
 		}
 		setAddr(cfg.VIPAddrs, proxy.VIPWeb, *web)
 		setAddr(cfg.VIPAddrs, proxy.VIPMQTT, *mqttAddr)
+		cfg.Steering = *steering
+		cfg.OriginHealth = split(*originHealth)
+		if n := len(cfg.OriginHealth); n != 0 && n != len(cfg.Origins) {
+			fatal("-origin-health must list one health address per -origin entry (%d vs %d)", n, len(cfg.Origins))
+		}
 	case "origin":
 		cfg.Role = proxy.RoleOrigin
 		cfg.AppServers = split(*apps)

@@ -38,6 +38,7 @@ var surfacePackages = []struct{ importPath, dir string }{
 	{"zdr/internal/fleet", "../fleet"},
 	{"zdr/internal/disrupt", "../disrupt"},
 	{"zdr/internal/metrics", "../metrics"},
+	{"zdr/internal/katran", "../katran"},
 }
 
 func TestAPISurface(t *testing.T) {

@@ -1,0 +1,150 @@
+// Chaos coverage for the probe transport: health probes and Prequal
+// load probes ride one Prober implementation with one fault-injection
+// point (HCProber.Dial → Injector.Dial), so a partition injected there
+// severs both protocols at once and drain-aware steering must bleed
+// fresh flows off the partitioned backend as its probe pool ages out —
+// then readmit it when the partition heals.
+package faults_test
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zdr/internal/faults"
+	"zdr/internal/katran"
+	"zdr/internal/metrics"
+)
+
+// chaosLoadServer answers the health ("HC\n" → "OK\n") and load-probe
+// ("LOAD\n" → sample line) protocols with a fixed advertisement.
+func chaosLoadServer(t *testing.T, sample katran.LoadSample) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						return
+					}
+					switch strings.TrimSpace(line) {
+					case "HC":
+						conn.Write([]byte("OK\n"))
+					case "LOAD":
+						conn.Write([]byte(katran.EncodeLoadLine(sample)))
+					default:
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestChaosProbePartitionSteersAwayThenHeals partitions one backend's
+// probe transport through the shared injector dial point. While cut,
+// both probe protocols fail with ErrInjected, the backend's pool ages
+// out, and every fresh flow lands on the reachable backend — even
+// though the partitioned one advertises the objectively better load.
+// Healing the partition lets the pool refill and the better backend
+// win picks again.
+func TestChaosProbePartitionSteersAwayThenHeals(t *testing.T) {
+	// The partition victim is the colder, faster backend: only stale or
+	// missing probes could explain steering away from it.
+	aAddr := chaosLoadServer(t, katran.LoadSample{RIF: 50, Latency: 10 * time.Millisecond, Phase: katran.PhaseServing})
+	bAddr := chaosLoadServer(t, katran.LoadSample{RIF: 0, Latency: time.Microsecond, Phase: katran.PhaseServing})
+
+	inj := faults.NewInjector(faults.Scenario{Seed: 1, DialFailRate: 1})
+	var cut atomic.Bool
+	cut.Store(true)
+	prober := &katran.HCProber{Dial: func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		if addr == bAddr && cut.Load() {
+			return inj.Dial(network, addr, timeout)
+		}
+		return net.DialTimeout(network, addr, timeout)
+	}}
+
+	reg := metrics.NewRegistry()
+	lb := katran.New("chaos-probes", katran.Config{
+		Prober: prober,
+		Policy: katran.NewPolicy("prequal", katran.PrequalConfig{
+			Prober:        prober,
+			ProbeInterval: 5 * time.Millisecond,
+			ProbeTimeout:  200 * time.Millisecond,
+			MaxAge:        50 * time.Millisecond,
+			ReuseBudget:   1 << 20,
+			PowerD:        2,
+			Seed:          3,
+		}, reg),
+	}, reg)
+	defer lb.Close()
+	lb.AddBackend(katran.Backend{Name: "a", Addr: "127.0.0.1:1", HealthAddr: aAddr}, true)
+	lb.AddBackend(katran.Backend{Name: "b", Addr: "127.0.0.1:2", HealthAddr: bAddr}, true)
+
+	// One injection point carries both protocols: the cut severs the
+	// one-shot health probe and the persistent load channel identically.
+	if err := prober.Probe(bAddr, 200*time.Millisecond); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("health probe through the cut = %v, want ErrInjected", err)
+	}
+	if _, err := prober.Load(bAddr, 200*time.Millisecond); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("load probe through the cut = %v, want ErrInjected", err)
+	}
+
+	time.Sleep(80 * time.Millisecond) // a's pool fills; b's stays empty
+	for i := 0; i < 32; i++ {
+		b, err := lb.Steer(uint64(1000 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name != "b" {
+			continue
+		}
+		t.Fatalf("fresh flow %d steered to the probe-partitioned backend (probes=%d errs=%d fallback=%d cold=%d)",
+			i,
+			reg.CounterValue("katran.prequal.probes"),
+			reg.CounterValue("katran.prequal.probe_errors"),
+			reg.CounterValue("katran.prequal.pick_fallback"),
+			reg.CounterValue("katran.prequal.pick_cold"))
+	}
+	if inj.Injected(faults.OpFailDial) == 0 {
+		t.Fatal("partition never exercised the injector dial point")
+	}
+	if reg.CounterValue("katran.prequal.probe_errors") == 0 {
+		t.Fatal("injected probe failures must count on katran.prequal.probe_errors")
+	}
+
+	// Heal: the pool refills within a probe interval and the better
+	// backend is eligible — and, being strictly colder, wins picks.
+	cut.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	won := 0
+	for i := 0; i < 32; i++ {
+		b, err := lb.Steer(uint64(2000 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name == "b" {
+			won++
+		}
+	}
+	if won == 0 {
+		t.Fatal("healed backend never won a pick despite advertising the coldest load")
+	}
+}

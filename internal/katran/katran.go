@@ -14,14 +14,18 @@
 //   - the §5.1 remediation: an LRU connection-table cache of recent flows
 //     that absorbs momentary shuffles in the routing topology so
 //     established connections keep landing on the same L7LB even when a
-//     health flap briefly changes the Maglev table.
+//     health flap briefly changes the Maglev table,
+//   - a pluggable steering Policy deciding where FRESH flows land: the
+//     default PolicyMaglev (placement-only consistent hashing) or the
+//     drain-aware adaptive PolicyPrequal (probe-based power-of-d with the
+//     hot/cold lexicographic rule).
 //
-// Steering is exposed as a function from flow hash to backend address;
-// integration tests and the cluster simulator drive their connection
-// placement through it.
+// Steering is exposed as a function from flow hash to backend; integration
+// tests and the cluster simulator drive their connection placement through
+// it.
 //
 // Concurrency model (DESIGN.md §8): steering is the per-packet hot path,
-// so Steer never takes the control-plane lock. The routing table (Maglev
+// so Steer never takes the control-plane lock. The routing View (Maglev
 // table + healthy-backend set) is an immutable snapshot published through
 // an atomic pointer; rebuilds construct a fresh snapshot under lb.mu and
 // swap it in. The flow cache is sharded with per-shard locks so concurrent
@@ -29,10 +33,7 @@
 package katran
 
 import (
-	"bufio"
 	"errors"
-	"fmt"
-	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -58,9 +59,6 @@ type backendState struct {
 	consecOK   int
 	consecFail int
 }
-
-// ProbeFunc checks one backend; nil error means healthy.
-type ProbeFunc func(addr string, timeout time.Duration) error
 
 // Config tunes the LB.
 type Config struct {
@@ -88,7 +86,18 @@ type Config struct {
 	FlowTableShards int
 	// MaglevSize overrides the lookup table size (0 = default).
 	MaglevSize int
-	// Probe overrides the prober (default ProbeHC).
+	// Prober carries health probes (default &HCProber{}, which speaks the
+	// "HC\n" → "OK\n" protocol). The same transport carries Prequal load
+	// probes, so one faults.Injector dialer chaos-tests both.
+	Prober Prober
+	// Policy decides where fresh flows land (default NewPolicyMaglev()).
+	// The LB's pinning layers — flow cache and flow table — sit in front
+	// of every policy; see the Policy doc for the precedence contract.
+	Policy Policy
+	// Probe overrides the prober.
+	//
+	// Deprecated: set Prober instead. A non-nil Probe is wrapped into a
+	// Prober that cannot answer load probes.
 	Probe ProbeFunc
 }
 
@@ -102,32 +111,35 @@ func (c *Config) fill() {
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = 500 * time.Millisecond
 	}
-	if c.Probe == nil {
-		c.Probe = ProbeHC
+	if c.Prober == nil {
+		if c.Probe != nil {
+			c.Prober = funcProber{c.Probe}
+		} else {
+			c.Prober = &HCProber{}
+		}
 	}
-}
-
-// routeTable is one immutable routing snapshot: a Maglev table over the
-// healthy backends plus the backend records for result lookup. Once
-// published via LB.route it is never mutated — rebuilds allocate a fresh
-// one (consistent.Maglev.Rebuild mutates in place, so sharing one Maglev
-// across snapshots would race with lock-free readers).
-type routeTable struct {
-	maglev  *consistent.Maglev
-	healthy map[string]Backend
+	if c.Policy == nil {
+		c.Policy = NewPolicyMaglev()
+	}
 }
 
 // LB is one Katran instance steering a single VIP.
 type LB struct {
-	name string
-	cfg  Config
-	reg  *metrics.Registry
+	name   string
+	cfg    Config
+	reg    *metrics.Registry
+	policy Policy
+	// fastMaglev devirtualizes the default policy: when the policy is
+	// the stock PolicyMaglev, repick inlines the placement pick instead
+	// of paying an interface dispatch + Backend copy on the uncached
+	// steer path (measured ~30% of that path's budget).
+	fastMaglev bool
 
 	// Hot-path counters, resolved once: Registry.Counter takes the
 	// registry mutex per lookup, which would serialize Steer again.
-	cCacheHit  *metrics.Counter
-	cTableHit  *metrics.Counter
-	cTablePick *metrics.Counter
+	cCacheHit   *metrics.Counter
+	cTableHit   *metrics.Counter
+	cPolicyPick *metrics.Counter
 
 	// Control-plane gauges for the fleet telemetry scrape: flow-table
 	// occupancy (parts per thousand) and current release epoch.
@@ -135,7 +147,7 @@ type LB struct {
 	gEpoch     *metrics.Gauge
 
 	// route is the current routing snapshot; Steer loads it lock-free.
-	route atomic.Pointer[routeTable]
+	route atomic.Pointer[View]
 
 	mu       sync.Mutex // control plane: guards backends + snapshot publication
 	backends map[string]*backendState
@@ -155,18 +167,21 @@ func New(name string, cfg Config, reg *metrics.Registry) *LB {
 		reg = metrics.NewRegistry()
 	}
 	lb := &LB{
-		name:       name,
-		cfg:        cfg,
-		reg:        reg,
-		cCacheHit:  reg.Counter("katran.steer.cache_hit"),
-		cTableHit:  reg.Counter("katran.steer.flowtable_hit"),
-		cTablePick: reg.Counter("katran.steer.table_pick"),
-		gOccupancy: reg.Gauge("katran.flowtable.occupancy"),
-		gEpoch:     reg.Gauge("katran.flowtable.epoch"),
-		backends:   make(map[string]*backendState),
-		stop:       make(chan struct{}),
+		name:        name,
+		cfg:         cfg,
+		reg:         reg,
+		policy:      cfg.Policy,
+		cCacheHit:   reg.Counter("katran.steer.cache_hit"),
+		cTableHit:   reg.Counter("katran.steer.flowtable_hit"),
+		cPolicyPick: reg.Counter("katran.steer.policy_pick"),
+		gOccupancy:  reg.Gauge("katran.flowtable.occupancy"),
+		gEpoch:      reg.Gauge("katran.flowtable.epoch"),
+		backends:    make(map[string]*backendState),
+		stop:        make(chan struct{}),
 	}
-	lb.route.Store(&routeTable{
+	_, lb.fastMaglev = lb.policy.(*PolicyMaglev)
+	reg.Gauge("katran.steer.policy_" + lb.policy.Name()).Set(1)
+	lb.route.Store(&View{
 		maglev:  consistent.NewMaglev(cfg.MaglevSize),
 		healthy: map[string]Backend{},
 	})
@@ -184,13 +199,17 @@ func New(name string, cfg Config, reg *metrics.Registry) *LB {
 // Config.FlowTableSize enabled it).
 func (lb *LB) FlowTable() *FlowTable { return lb.table }
 
+// Policy returns the steering policy deciding fresh-flow placement.
+func (lb *LB) Policy() Policy { return lb.policy }
+
 // AdvanceGeneration moves the flow table to the next release generation.
 // With drainOld, every flow pinned under earlier generations is flipped
 // in this one O(1) epoch bump — the million-flow takeover primitive: no
 // per-entry writes happen (pinned by the chaos suite via EntryWrites),
 // and each stale flow lazily re-pins on its next packet. Without
 // drainOld the bump is bookkeeping only and existing pins stay routable.
-// No-op when the flow table is disabled.
+// The steering policy observes the bump. No-op when the flow table is
+// disabled.
 func (lb *LB) AdvanceGeneration(drainOld bool) {
 	if lb.table == nil {
 		return
@@ -199,6 +218,9 @@ func (lb *LB) AdvanceGeneration(drainOld bool) {
 	lb.gEpoch.Set(int64(epoch))
 	lb.gOccupancy.Set(int64(lb.table.Occupancy()))
 	lb.reg.Counter("katran.flowtable.bumps").Inc()
+	lb.mu.Lock()
+	lb.policy.AdvanceGeneration(epoch, drainOld)
+	lb.mu.Unlock()
 }
 
 // Metrics returns the LB's registry.
@@ -210,6 +232,9 @@ func (lb *LB) AddBackend(b Backend, healthyNow bool) {
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
 	lb.backends[b.Name] = &backendState{Backend: b, healthy: healthyNow}
+	if healthyNow {
+		lb.policy.BackendUp(b)
+	}
 	lb.rebuildLocked()
 }
 
@@ -217,28 +242,45 @@ func (lb *LB) AddBackend(b Backend, healthyNow bool) {
 func (lb *LB) RemoveBackend(name string) {
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
+	if _, ok := lb.backends[name]; !ok {
+		return
+	}
 	delete(lb.backends, name)
+	lb.policy.BackendDown(name)
 	lb.rebuildLocked()
 }
 
+// ErrUnknownBackend is returned by SetHealth for a name that was never
+// added.
+var ErrUnknownBackend = errors.New("katran: unknown backend")
+
 // SetHealth overrides a backend's health (used by tests and by the
-// simulator's modeled probes).
-func (lb *LB) SetHealth(name string, healthy bool) {
+// simulator's modeled probes). An unknown name is an error — and counts
+// on katran.health.unknown_backend — so a typoed simulator transition
+// can't silently skip.
+func (lb *LB) SetHealth(name string, healthy bool) error {
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
 	bs, ok := lb.backends[name]
-	if !ok || bs.healthy == healthy {
-		return
+	if !ok {
+		lb.reg.Counter("katran.health.unknown_backend").Inc()
+		return ErrUnknownBackend
+	}
+	if bs.healthy == healthy {
+		return nil
 	}
 	bs.healthy = healthy
 	lb.transitionLocked(bs)
+	return nil
 }
 
 func (lb *LB) transitionLocked(bs *backendState) {
 	if bs.healthy {
 		lb.reg.Counter("katran.health.up").Inc()
+		lb.policy.BackendUp(bs.Backend)
 	} else {
 		lb.reg.Counter("katran.health.down").Inc()
+		lb.policy.BackendDown(bs.Name)
 	}
 	lb.rebuildLocked()
 }
@@ -255,7 +297,7 @@ func (lb *LB) rebuildLocked() {
 		}
 	}
 	sort.Strings(names)
-	lb.route.Store(&routeTable{
+	lb.route.Store(&View{
 		maglev:  consistent.NewMaglev(lb.cfg.MaglevSize, names...),
 		healthy: healthy,
 	})
@@ -275,15 +317,21 @@ func (lb *LB) HealthyBackends() []string {
 	return lb.route.Load().maglev.Members()
 }
 
+// View returns the current immutable routing snapshot.
+func (lb *LB) View() *View { return lb.route.Load() }
+
 // ErrNoBackends is returned by Steer when every backend is out.
 var ErrNoBackends = errors.New("katran: no healthy backends")
 
 // Steer picks the backend for a flow hash: the small §5.1 LRU cache
 // first (momentary-shuffle absorber), then the generation-tagged flow
-// table (million-flow pinning memory), then Maglev. Fresh picks are
-// recorded in both so the flow sticks.
+// table (million-flow pinning memory), then the steering policy for the
+// fresh pick. Fresh picks are recorded in both pinning layers so the
+// flow sticks — that is the policy-vs-flow-table precedence contract: a
+// policy decides only where NEW (or stale-pinned) flows go, the pinning
+// layers keep established flows where they are.
 //
-// Steer is lock-free on the routing table (it reads the current snapshot)
+// Steer is lock-free on the routing View (it reads the current snapshot)
 // and touches at most one shard of each flow structure, so concurrent
 // steering scales across cores. Stale pins — the cached backend went
 // unhealthy, or the pin's generation was drained — are re-picked with a
@@ -317,11 +365,11 @@ func (lb *LB) Steer(flow uint64) (Backend, error) {
 	return lb.repick(flow)
 }
 
-// repick resolves flow against the freshest routing snapshot and records
-// the result in the flow table and cache, each under a single shard
-// critical section that revalidates before replacing: if a concurrent
-// steer already re-pinned the flow to a live backend, that pick wins and
-// no write happens.
+// repick resolves flow through the steering policy against the freshest
+// routing snapshot and records the result in the flow table and cache,
+// each under a single shard critical section that revalidates before
+// replacing: if a concurrent steer already re-pinned the flow to a live
+// backend, that pick wins and no write happens.
 func (lb *LB) repick(flow uint64) (Backend, error) {
 	var picked Backend
 	var found bool
@@ -335,13 +383,22 @@ func (lb *LB) repick(flow uint64) (Backend, error) {
 				return cur, true
 			}
 		}
-		name := rt.maglev.PickUint(flow)
-		if name == "" {
+		if lb.fastMaglev {
+			name := rt.maglev.PickUint(flow)
+			if name == "" {
+				found = false
+				return "", false
+			}
+			picked, found = rt.healthy[name], true
+			return name, true
+		}
+		b, err := lb.policy.Pick(flow, rt)
+		if err != nil {
 			found = false
 			return "", false
 		}
-		picked, found = rt.healthy[name], true
-		return name, true
+		picked, found = b, true
+		return b.Name, true
 	}
 	switch {
 	case lb.table != nil:
@@ -357,11 +414,14 @@ func (lb *LB) repick(flow uint64) (Backend, error) {
 	if !found {
 		return Backend{}, ErrNoBackends
 	}
-	lb.cTablePick.Inc()
+	lb.cPolicyPick.Inc()
 	return picked, nil
 }
 
 // SteerAddr is Steer returning just the address.
+//
+// Deprecated: call Steer and use Backend.Addr; this wrapper only
+// delegates.
 func (lb *LB) SteerAddr(flow uint64) (string, error) {
 	b, err := lb.Steer(flow)
 	return b.Addr, err
@@ -392,7 +452,7 @@ func (lb *LB) ProbeOnce() {
 	for _, bs := range lb.backends {
 		targets = append(targets, bs)
 	}
-	probe := lb.cfg.Probe
+	prober := lb.cfg.Prober
 	timeout := lb.cfg.ProbeTimeout
 	lb.mu.Unlock()
 
@@ -410,7 +470,7 @@ func (lb *LB) ProbeOnce() {
 			if addr == "" {
 				addr = bs.Addr
 			}
-			results[i] = result{bs: bs, ok: probe(addr, timeout) == nil}
+			results[i] = result{bs: bs, ok: prober.Probe(addr, timeout) == nil}
 		}(i, bs)
 	}
 	wg.Wait()
@@ -437,32 +497,9 @@ func (lb *LB) ProbeOnce() {
 	}
 }
 
-// Close stops health checking.
+// Close stops health checking and the steering policy's probe pools.
 func (lb *LB) Close() {
 	lb.once.Do(func() { close(lb.stop) })
 	lb.wg.Wait()
-}
-
-// ProbeHC is the default prober: it speaks the one-line health-check
-// protocol ("HC\n" → "OK\n") that the Proxygen health listener implements.
-// A draining instance answers "DRAIN", which counts as unhealthy — the
-// §2.3 mechanism for removing an instance from the routing ring.
-func ProbeHC(addr string, timeout time.Duration) error {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
-	if _, err := conn.Write([]byte("HC\n")); err != nil {
-		return err
-	}
-	line, err := bufio.NewReader(conn).ReadString('\n')
-	if err != nil {
-		return err
-	}
-	if line != "OK\n" {
-		return fmt.Errorf("katran: unhealthy answer %q", line)
-	}
-	return nil
+	lb.policy.Close()
 }

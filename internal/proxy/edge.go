@@ -42,6 +42,14 @@ func (te *tunnelEntry) alive() bool {
 // fresh dial — which, after a Socket Takeover, transparently lands on the
 // new instance because the listening socket never closed.
 func (p *Proxy) originSessionFor(exclude string) (*tunnelEntry, error) {
+	// With a steering policy configured, the embedded katran LB decides
+	// which origin serves this request; any steering failure (policy
+	// error, dead pick) falls through to the legacy path below.
+	if p.steerLB != nil {
+		if te, err := p.steeredSession(exclude); err == nil {
+			return te, nil
+		}
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -71,28 +79,67 @@ func (p *Proxy) originSessionFor(exclude string) (*tunnelEntry, error) {
 
 	var lastErr error
 	for _, addr := range candidates {
-		conn, err := p.dialUpstream(addr)
+		te, err := p.tunnelTo(addr)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		te := &tunnelEntry{addr: addr, sess: h2t.NewSession(conn, true)}
-		p.mu.Lock()
-		if old, ok := p.tunnels[addr]; ok && old.alive() {
-			// Raced with another dial; keep the existing one.
-			p.mu.Unlock()
-			te.sess.Close()
-			return old, nil
-		}
-		p.tunnels[addr] = te
-		p.mu.Unlock()
-		p.reg.Counter("edge.tunnel.dials").Inc()
 		return te, nil
 	}
 	if lastErr == nil {
 		lastErr = errors.New("proxy: no origin available")
 	}
 	return nil, lastErr
+}
+
+// steeredSession resolves one request's origin through the steering
+// policy. Each request gets a fresh flow id, so the policy is free to
+// rebalance request-by-request (sessions to each origin are still
+// shared — steering picks the origin, not the connection).
+func (p *Proxy) steeredSession(exclude string) (*tunnelEntry, error) {
+	b, err := p.steerLB.Steer(p.steerSeq.Add(1))
+	if err != nil {
+		return nil, err
+	}
+	if b.Addr == exclude {
+		return nil, errors.New("proxy: steered to excluded origin")
+	}
+	p.reg.Counter("edge.steer.picks").Inc()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("proxy: closed")
+	}
+	if te, ok := p.tunnels[b.Addr]; ok {
+		if te.alive() {
+			p.mu.Unlock()
+			return te, nil
+		}
+		delete(p.tunnels, b.Addr)
+	}
+	p.mu.Unlock()
+	return p.tunnelTo(b.Addr)
+}
+
+// tunnelTo dials a tunnel session to addr and registers it, keeping an
+// existing live session if a concurrent dial raced us there.
+func (p *Proxy) tunnelTo(addr string) (*tunnelEntry, error) {
+	conn, err := p.dialUpstream(addr)
+	if err != nil {
+		return nil, err
+	}
+	te := &tunnelEntry{addr: addr, sess: h2t.NewSession(conn, true)}
+	p.mu.Lock()
+	if old, ok := p.tunnels[addr]; ok && old.alive() {
+		// Raced with another dial; keep the existing one.
+		p.mu.Unlock()
+		te.sess.Close()
+		return old, nil
+	}
+	p.tunnels[addr] = te
+	p.mu.Unlock()
+	p.reg.Counter("edge.tunnel.dials").Inc()
+	return te, nil
 }
 
 // handleEdgeHTTPConn terminates a user HTTP connection (§2.2 step 1-2):
@@ -165,6 +212,8 @@ func (p *Proxy) serveEdgeHTTPLoop(loop *netx.EventLoop, conn net.Conn, rawConn s
 
 func (p *Proxy) serveEdgeRequest(conn net.Conn, req *http1.Request) bool {
 	t0 := time.Now()
+	p.gRIF.Inc()
+	defer p.gRIF.Dec()
 	defer func() { p.latHTTP.Observe(time.Since(t0).Seconds()) }()
 	// Join (or start) the request trace: a client-supplied x-zdr-trace
 	// makes this span a remote child; the context is forwarded over the

@@ -276,6 +276,8 @@ func (p *Proxy) forwardHTTP(st *h2t.Stream, hdr map[string]string) {
 	}
 	p.reg.Counter("origin.http.requests").Inc()
 	t0 := time.Now()
+	p.gRIF.Inc()
+	defer p.gRIF.Dec()
 	defer func() { p.latHTTP.Observe(time.Since(t0).Seconds()) }()
 
 	remote, _ := obs.ParseSpanContext(hdr[obs.TraceHeader])

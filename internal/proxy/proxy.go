@@ -34,6 +34,7 @@ import (
 	"zdr/internal/consistent"
 	"zdr/internal/disrupt"
 	"zdr/internal/faults"
+	"zdr/internal/katran"
 	"zdr/internal/metrics"
 	"zdr/internal/netx"
 	"zdr/internal/obs"
@@ -156,6 +157,26 @@ type Config struct {
 	// wrapped conns hide their descriptor and are skipped by design.
 	Tuning *netx.ConnTuning
 
+	// Steering selects the Edge's origin-steering policy: "" keeps the
+	// legacy prefer-alive-then-round-robin behaviour, "maglev" steers
+	// requests through an embedded katran LB with placement-only picks,
+	// and "prequal" adds drain-aware adaptive steering — probe pools
+	// over the origins' health VIPs hear each origin's requests-in-
+	// flight, latency and release phase, and new flows bleed off a
+	// draining generation before its drain timer bites.
+	Steering string
+	// OriginHealth lists the origins' health-VIP addresses, parallel to
+	// Origins. Required for "prequal" (the load probes ride the health
+	// VIP); with "maglev" it additionally enables active health checks
+	// on the embedded LB.
+	OriginHealth []string
+	// SteeringPrequal tunes PolicyPrequal when Steering is "prequal";
+	// the zero value uses the katran defaults.
+	SteeringPrequal katran.PrequalConfig
+	// SteeringHCInterval paces the embedded LB's health checks over
+	// OriginHealth (default 500ms).
+	SteeringHCInterval time.Duration
+
 	// Ledger, when non-nil, receives connection-level disruption events:
 	// accepts, hand-offs, drains, undos, terminal resets/timeouts with
 	// their (cause, phase, generation) attribution, and — when Faults /
@@ -189,6 +210,9 @@ func (c *Config) fill() {
 	}
 	if c.RetryBackoff.Max <= 0 {
 		c.RetryBackoff.Max = 200 * time.Millisecond
+	}
+	if c.SteeringHCInterval <= 0 {
+		c.SteeringHCInterval = 500 * time.Millisecond
 	}
 }
 
@@ -229,6 +253,20 @@ type Proxy struct {
 	latTunnel *metrics.AtomicHistogram
 	// latQUIC measures the Edge's QUIC-style DSR handler.
 	latQUIC *metrics.AtomicHistogram
+	// gRIF counts requests in flight — the Prequal load signal this
+	// instance advertises in its LOAD probe answers.
+	gRIF *metrics.Gauge
+
+	// steerLB steers edge→origin placement when Config.Steering is set;
+	// steerSeq hands each fresh request its flow id.
+	steerLB  *katran.LB
+	steerSeq atomic.Uint64
+
+	// loadConns tracks persistent LOAD probe connections so terminate
+	// can close them — their handler goroutines otherwise block in read
+	// and would hang the drain's wg.Wait.
+	loadConnsMu sync.Mutex
+	loadConns   map[net.Conn]struct{}
 
 	// parked tracks event-loop watches for connections idling in
 	// Config.ConnLoop, with the conn each watch guards: terminate must
@@ -255,8 +293,10 @@ func New(cfg Config, reg *metrics.Registry) *Proxy {
 		mqttConns:   make(map[*mqttRelay]struct{}),
 		srvSessions: make(map[*originSession]struct{}),
 		parked:      make(map[*netx.Watch]net.Conn),
+		loadConns:   make(map[net.Conn]struct{}),
 		drainCh:     make(chan struct{}),
 	}
+	p.gRIF = reg.Gauge("proxy.rif")
 	if cfg.Role == RoleOrigin {
 		p.brokerRing = consistent.NewRing(100, cfg.Brokers...)
 		p.latHTTP = reg.AtomicHistogram("origin.http.latency")
@@ -264,6 +304,9 @@ func New(cfg Config, reg *metrics.Registry) *Proxy {
 		p.latHTTP = reg.AtomicHistogram("edge.http.latency")
 		p.latTunnel = reg.AtomicHistogram("edge.tunnel.latency")
 		p.latQUIC = reg.AtomicHistogram("edge.quic.latency")
+		if cfg.Steering != "" && len(cfg.Origins) > 0 {
+			p.steerLB = p.newSteerLB(reg)
+		}
 	}
 	if cfg.Ledger != nil {
 		// The release-phase stamp moves when this generation actually takes
@@ -550,6 +593,97 @@ func (p *Proxy) syncLedgerPhase() {
 	p.cfg.Ledger.SetPhase(phase, p.cfg.Generation)
 }
 
+// newSteerLB builds the Edge's embedded katran LB over the configured
+// origins. Each origin is one backend; its health VIP (OriginHealth)
+// carries the active health checks and — under prequal — the load
+// probes whose answers advertise the origin's RIF, latency and release
+// phase. The LB runs without pinning layers: each request gets a fresh
+// flow id, so every pick is a policy decision (connection pinning lives
+// at the real katran tier in front of the Edge, not here).
+func (p *Proxy) newSteerLB(reg *metrics.Registry) *katran.LB {
+	pcfg := p.cfg.SteeringPrequal
+	if pcfg.Prober == nil && p.cfg.Faults != nil {
+		// One probe transport, one fault-injection point: the chaos
+		// injector that wraps upstream dials wraps probe dials too.
+		pcfg.Prober = &katran.HCProber{Dial: p.cfg.Faults.Dial}
+	}
+	lb := katran.New(p.cfg.Name+"-steer", katran.Config{
+		Policy: katran.NewPolicy(p.cfg.Steering, pcfg, reg),
+		Prober: pcfg.Prober,
+	}, reg)
+	for i, addr := range p.cfg.Origins {
+		b := katran.Backend{Name: addr, Addr: addr}
+		if i < len(p.cfg.OriginHealth) {
+			b.HealthAddr = p.cfg.OriginHealth[i]
+		}
+		lb.AddBackend(b, true)
+	}
+	if len(p.cfg.OriginHealth) > 0 {
+		lb.StartHealthChecks(p.cfg.SteeringHCInterval)
+	}
+	return lb
+}
+
+// loadSample is this instance's answer to a load probe: requests in
+// flight, the data-plane latency median, and the release phase +
+// generation — the drain advertisement that lets a Prequal-steering
+// peer bleed new flows off this instance the moment a release starts.
+// The disruption ledger is the phase source when configured (it tracks
+// the serving generation across takeovers); otherwise the proxy's own
+// release state machine answers.
+func (p *Proxy) loadSample() katran.LoadSample {
+	s := katran.LoadSample{
+		RIF:        int(p.gRIF.Value()),
+		Latency:    time.Duration(p.latHTTP.Quantile(0.5) * float64(time.Second)),
+		Generation: p.cfg.Generation,
+	}
+	if p.cfg.Ledger != nil {
+		s.Phase, s.Generation = p.cfg.Ledger.Phase()
+		return s
+	}
+	p.mu.Lock()
+	draining := p.draining
+	awaiting := p.awaitingReady
+	p.mu.Unlock()
+	switch {
+	case awaiting:
+		s.Phase = katran.PhaseCommitted
+	case draining:
+		s.Phase = katran.PhaseDraining
+	default:
+		s.Phase = katran.PhaseServing
+	}
+	return s
+}
+
+// serveLoadConn answers load probes on a persistent connection: one
+// LOAD line per "LOAD\n" request until the prober hangs up or this
+// instance terminates. The connection stays open across a drain — a
+// draining instance stops accepting but keeps serving established
+// connections, so the probe channel is exactly how the drain
+// advertisement reaches steering peers instantly.
+func (p *Proxy) serveLoadConn(conn net.Conn, br *bufio.Reader) {
+	p.loadConnsMu.Lock()
+	p.loadConns[conn] = struct{}{}
+	p.loadConnsMu.Unlock()
+	defer func() {
+		p.loadConnsMu.Lock()
+		delete(p.loadConns, conn)
+		p.loadConnsMu.Unlock()
+	}()
+	for {
+		p.reg.Counter("proxy.loadprobes").Inc()
+		if _, err := fmt.Fprint(conn, katran.EncodeLoadLine(p.loadSample())); err != nil {
+			return
+		}
+		conn.SetDeadline(time.Now().Add(time.Minute))
+		line, err := br.ReadString('\n')
+		if err != nil || line != "LOAD\n" {
+			return
+		}
+	}
+}
+
 // Draining reports whether the proxy is in its drain phase.
 func (p *Proxy) Draining() bool {
 	p.mu.Lock()
@@ -578,17 +712,23 @@ func (p *Proxy) readyToServe() error {
 //
 //	"HC\n"    → "OK\n", or "DRAIN\n" while draining (§2.3: draining
 //	            instances fail health checks);
+//	"LOAD\n"  → a load-probe line (RIF, latency, release phase,
+//	            generation) per request, served persistently — the
+//	            Prequal probe channel and the drain-advertisement path;
 //	"STATS\n" → a counter dump — the paper's per-instance real-time
 //	            release signal (§6: "Each restarting instance emits a
 //	            signal through which its status can be observed").
 func (p *Proxy) handleHealthConn(conn net.Conn) {
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(2 * time.Second))
-	line, err := bufio.NewReader(conn).ReadString('\n')
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
 	if err != nil {
 		return
 	}
 	switch line {
+	case "LOAD\n":
+		p.serveLoadConn(conn, br)
 	case "HC\n":
 		p.reg.Counter("proxy.healthchecks").Inc()
 		if p.Draining() {
@@ -1026,6 +1166,21 @@ func (p *Proxy) terminate() {
 	}
 	for _, s := range sessions {
 		s.close()
+	}
+	// Persistent LOAD probe channels have a goroutine blocked in read;
+	// close them or wg.Wait below never returns. The embedded steering
+	// LB goes with them (its probe pools hold channels to the origins).
+	p.loadConnsMu.Lock()
+	loadConns := make([]net.Conn, 0, len(p.loadConns))
+	for c := range p.loadConns {
+		loadConns = append(loadConns, c)
+	}
+	p.loadConnsMu.Unlock()
+	for _, c := range loadConns {
+		c.Close()
+	}
+	if p.steerLB != nil {
+		p.steerLB.Close()
 	}
 	p.wg.Wait()
 	drainSpan.End()
